@@ -1,0 +1,89 @@
+package barter
+
+import (
+	"barter/internal/core"
+	"barter/internal/experiment"
+	"barter/internal/sim"
+)
+
+// The simulation API re-exports the internal engine types: the facade is the
+// supported surface, the internal packages are free to evolve.
+type (
+	// Config holds every parameter of a simulation run; see DefaultConfig
+	// for the paper's Table II values.
+	Config = sim.Config
+	// Result aggregates the metrics of one run.
+	Result = sim.Result
+	// Simulation is one deterministic discrete-event run.
+	Simulation = sim.Sim
+	// Policy selects the exchange mechanism under test.
+	Policy = core.Policy
+	// Ring is a feasible n-way exchange.
+	Ring = core.Ring
+	// Experiment is one reproducible paper artifact (table or figure).
+	Experiment = experiment.Experiment
+	// ExperimentOptions tunes one experiment invocation.
+	ExperimentOptions = experiment.Options
+	// ExperimentReport is an experiment's output tables.
+	ExperimentReport = experiment.Report
+
+	// Tree is a request tree: a peer's partial view of the request graph.
+	Tree = core.Tree
+	// IRQEntry feeds BuildTree with one incoming-request-queue entry.
+	IRQEntry = core.IRQEntry
+	// Want pairs a wanted object with its known providers for ring search.
+	Want = core.Want
+	// RingMember is one position in an exchange ring.
+	RingMember = core.Member
+	// SearchStats reports the cost of one ring search.
+	SearchStats = core.SearchStats
+)
+
+// BuildTree assembles a request tree from an incoming request queue, pruned
+// to maxDepth (the paper prunes to depth 5).
+func BuildTree(root PeerID, irq []IRQEntry, maxDepth int) *Tree {
+	return core.BuildTree(root, irq, maxDepth)
+}
+
+// FindRing searches a request tree for the best feasible exchange ring
+// under the policy; see core.FindRing for the full contract.
+func FindRing(t *Tree, wants []Want, pol Policy) (*Ring, int, SearchStats, bool) {
+	return core.FindRing(t, wants, pol)
+}
+
+// MaxRingDefault is the paper's ring-size cap (5).
+const MaxRingDefault = core.DefaultMaxRing
+
+// Exchange policies evaluated by the paper.
+var (
+	// PolicyNoExchange is the baseline: no exchange priority at all.
+	PolicyNoExchange = core.PolicyNoExchange
+	// PolicyPairwise detects only 2-way exchanges.
+	PolicyPairwise = core.PolicyPairwise
+	// Policy2N searches short rings first, up to 5-way ("2-5-way").
+	Policy2N = core.Policy2N
+	// PolicyN2 searches long rings first, down to pairwise ("5-2-way").
+	PolicyN2 = core.PolicyN2
+)
+
+// DefaultConfig returns the paper's Table II parameters.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// PaperConfig returns the configuration the experiment harness uses at full
+// scale: Table II plus the documented availability calibration (see
+// DESIGN.md).
+func PaperConfig() Config { return experiment.FullBase() }
+
+// QuickConfig returns the scaled-down world used by tests, benchmarks and
+// the quickstart example: 30 peers, 0.5 MB objects, seconds of wall time.
+func QuickConfig() Config { return experiment.QuickBase() }
+
+// NewSimulation constructs a deterministic simulation run.
+func NewSimulation(cfg Config) (*Simulation, error) { return sim.New(cfg) }
+
+// Experiments returns every paper artifact in paper order: table2, fig4
+// through fig12, and the ablations.
+func Experiments() []*Experiment { return experiment.All() }
+
+// ExperimentByID returns one artifact by key (e.g. "fig4").
+func ExperimentByID(id string) (*Experiment, bool) { return experiment.ByID(id) }

@@ -1,0 +1,144 @@
+// Command exchnode runs a live exchange peer over TCP.
+//
+// A tiny static directory maps peer ids to addresses so small hand-built
+// networks can form rings (the paper treats lookup as an external service):
+//
+//	exchnode -id 1 -listen 127.0.0.1:7001 -share \
+//	    -peers 2=127.0.0.1:7002,3=127.0.0.1:7003 \
+//	    -serve 100=./alice.bin -fetch 200=2 -timeout 60s
+//
+// serves object 100 from a local file and downloads object 200 from peer 2,
+// exiting when every fetch completes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"barter"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "exchnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id      = flag.Int("id", 1, "peer id")
+		listen  = flag.String("listen", "127.0.0.1:0", "listen address")
+		share   = flag.Bool("share", true, "serve content (false = free-ride)")
+		peers   = flag.String("peers", "", "directory: id=addr,id=addr,...")
+		serve   = flag.String("serve", "", "objects to serve: objID=path,...")
+		fetch   = flag.String("fetch", "", "objects to fetch: objID=peerID,...")
+		slots   = flag.Int("slots", 4, "upload slots")
+		block   = flag.Int("block", 64<<10, "block size in bytes")
+		timeout = flag.Duration("timeout", 120*time.Second, "per-fetch timeout")
+		verbose = flag.Bool("v", false, "log protocol activity")
+	)
+	flag.Parse()
+
+	dir := make(map[barter.PeerID]string)
+	if *peers != "" {
+		for _, ent := range strings.Split(*peers, ",") {
+			k, v, ok := strings.Cut(ent, "=")
+			if !ok {
+				return fmt.Errorf("bad -peers entry %q", ent)
+			}
+			pid, err := strconv.Atoi(k)
+			if err != nil {
+				return fmt.Errorf("bad peer id %q: %w", k, err)
+			}
+			dir[barter.PeerID(pid)] = v
+		}
+	}
+
+	cfg := barter.NodeConfig{
+		ID:          barter.PeerID(*id),
+		Addr:        *listen,
+		Transport:   barter.NewTCPTransport(),
+		Share:       *share,
+		UploadSlots: *slots,
+		BlockSize:   *block,
+		Lookup: func(p barter.PeerID) (string, bool) {
+			a, ok := dir[p]
+			return a, ok
+		},
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	n, err := barter.NewNode(cfg)
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+	fmt.Printf("peer %d listening on %s (share=%v)\n", *id, n.Addr(), *share)
+
+	if *serve != "" {
+		for _, ent := range strings.Split(*serve, ",") {
+			k, path, ok := strings.Cut(ent, "=")
+			if !ok {
+				return fmt.Errorf("bad -serve entry %q", ent)
+			}
+			objID, err := strconv.Atoi(k)
+			if err != nil {
+				return fmt.Errorf("bad object id %q: %w", k, err)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			n.AddObject(barter.ObjectID(objID), data)
+			fmt.Printf("serving object %d (%d bytes) from %s\n", objID, len(data), path)
+		}
+	}
+
+	if *fetch == "" {
+		// Serve-only mode: run until interrupted.
+		select {}
+	}
+	type pending struct {
+		obj barter.ObjectID
+		ch  <-chan error
+	}
+	var fetches []pending
+	for _, ent := range strings.Split(*fetch, ",") {
+		k, v, ok := strings.Cut(ent, "=")
+		if !ok {
+			return fmt.Errorf("bad -fetch entry %q", ent)
+		}
+		objID, err := strconv.Atoi(k)
+		if err != nil {
+			return fmt.Errorf("bad object id %q: %w", k, err)
+		}
+		pid, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad provider id %q: %w", v, err)
+		}
+		addr, ok := dir[barter.PeerID(pid)]
+		if !ok {
+			return fmt.Errorf("provider %d not in -peers directory", pid)
+		}
+		ch := n.Download(barter.ObjectID(objID), map[barter.PeerID]string{barter.PeerID(pid): addr})
+		fetches = append(fetches, pending{obj: barter.ObjectID(objID), ch: ch})
+	}
+	for _, f := range fetches {
+		if err := barter.WaitDownload(f.ch, *timeout); err != nil {
+			return fmt.Errorf("fetch %d: %w", f.obj, err)
+		}
+		fmt.Printf("fetched object %d (%d bytes)\n", f.obj, len(n.Object(f.obj)))
+	}
+	st := n.Stats()
+	fmt.Printf("done: rings joined %d, exchange blocks sent %d, blocks received %d\n",
+		st.RingsJoined, st.ExchangeBlocksSent, st.BlocksReceived)
+	return nil
+}

@@ -1,0 +1,77 @@
+// Command exchsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	exchsim -list
+//	exchsim -experiment fig4 [-quick] [-seed 7] [-v]
+//	exchsim -all [-quick]
+//
+// Output is tab-separated: one column per plotted series, one row per x
+// value, matching the corresponding figure of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"barter"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "exchsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		expID   = flag.String("experiment", "", "experiment to run (e.g. fig4)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "run the scaled-down world (seconds instead of minutes)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		verbose = flag.Bool("v", false, "print per-run progress to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range barter.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	opts := barter.ExperimentOptions{Seed: *seed, Quick: *quick}
+	if *verbose {
+		opts.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+
+	switch {
+	case *all:
+		for _, e := range barter.Experiments() {
+			fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+			rep, err := e.Run(opts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Println(rep.TSV())
+		}
+		return nil
+	case *expID != "":
+		e, ok := barter.ExperimentByID(*expID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *expID)
+		}
+		rep, err := e.Run(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.TSV())
+		return nil
+	default:
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -experiment, or -all")
+	}
+}

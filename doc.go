@@ -1,0 +1,22 @@
+// Package barter is a reproduction of "Exchange-Based Incentive Mechanisms
+// for Peer-to-Peer File Sharing" (Anagnostakis & Greenwald, ICDCS 2004): an
+// incentive mechanism in which peers give absolute service priority to
+// requests from peers that can provide a simultaneous, symmetric service in
+// return, generalized from pairwise swaps to n-way exchange rings discovered
+// by searching request trees.
+//
+// The module contains three layers:
+//
+//   - A deterministic discrete-event simulator of the paper's evaluation
+//     environment (Section IV), exposed through Config, NewSimulation, and
+//     the Experiments registry that regenerates every table and figure.
+//   - The exchange mechanism itself (request trees, ring search, search-order
+//     policies), shared by the simulator and the live implementation.
+//   - A live, concurrent peer implementation of the protocol over in-memory
+//     or TCP transports, including the trusted-mediator defense against
+//     middleman cheating (Section III-B), exposed through NewNode and
+//     NewMediator.
+//
+// The examples directory demonstrates all three layers; cmd/exchsim
+// regenerates the paper's figures from the command line.
+package barter

@@ -1,0 +1,208 @@
+// Package bloom implements the Section V extension: compact request-tree
+// representation with Bloom filters. A peer summarizes the set of peers at
+// each level of its request tree in one Bloom filter per level, and attaches
+// those filters (instead of the full tree) to outgoing requests. A searching
+// peer can then determine that a ring probably exists — and at which depth —
+// without learning the tree's structure; the ring is then resolved by
+// next-hop lookups at each node instead of source-routing, with a non-zero
+// false-positive probability that a resolution attempt simply fails.
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"barter/internal/core"
+)
+
+// Filter is a fixed-size Bloom filter over peer ids.
+type Filter struct {
+	bits  []uint64
+	k     int
+	nbits uint64
+}
+
+// NewFilter sizes a filter for n expected entries at the given target false
+// positive rate (standard optimal sizing: m = -n ln p / ln2^2, k = m/n ln2).
+func NewFilter(n int, fpr float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if fpr <= 0 || fpr >= 1 {
+		fpr = 0.01
+	}
+	m := math.Ceil(-float64(n) * math.Log(fpr) / (math.Ln2 * math.Ln2))
+	k := int(math.Round(m / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	nbits := uint64(m)
+	if nbits < 64 {
+		nbits = 64
+	}
+	return &Filter{bits: make([]uint64, (nbits+63)/64), k: k, nbits: nbits}
+}
+
+// hashPair derives two independent hash values for double hashing.
+func hashPair(p core.PeerID) (uint64, uint64) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(uint32(p)))
+	// FNV-1a 64-bit, then a splitmix64 round for the second value.
+	h1 := uint64(1469598103934665603)
+	for _, b := range buf {
+		h1 ^= uint64(b)
+		h1 *= 1099511628211
+	}
+	z := h1 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	h2 := z ^ (z >> 31)
+	if h2%2 == 0 { // ensure odd stride so all k probes are distinct mod m
+		h2++
+	}
+	return h1, h2
+}
+
+// Add inserts a peer id.
+func (f *Filter) Add(p core.PeerID) {
+	h1, h2 := hashPair(p)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// Contains reports whether p may have been added (false positives possible,
+// false negatives impossible).
+func (f *Filter) Contains(p core.PeerID) bool {
+	h1, h2 := hashPair(p)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes returns the filter's wire size.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// Union merges other into f; both must have identical geometry.
+func (f *Filter) Union(other *Filter) error {
+	if f.nbits != other.nbits || f.k != other.k {
+		return fmt.Errorf("bloom: incompatible filters (%d/%d bits, k %d/%d)",
+			f.nbits, other.nbits, f.k, other.k)
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	return nil
+}
+
+// Leveled summarizes a request tree: Levels[d] holds the peers at depth d+2
+// (depth 2 is the first level below the root, mirroring the paper's "we
+// require a different Bloom filter for each level in the request tree so
+// that peers can trim the tree by one level when they initiate a request").
+type Leveled struct {
+	Root   core.PeerID
+	Levels []*Filter
+}
+
+// Summarize builds the per-level filters of a tree, sized for expected
+// peers-per-level n at the target false-positive rate.
+func Summarize(t *core.Tree, maxDepth, perLevel int, fpr float64) *Leveled {
+	if maxDepth < 2 {
+		return &Leveled{Root: t.Root}
+	}
+	levels := make([]*Filter, maxDepth-1)
+	counts := make([]int, maxDepth-1)
+	for i := range levels {
+		levels[i] = NewFilter(perLevel, fpr)
+	}
+	var walk func(nodes []*core.TreeNode, depth int)
+	walk = func(nodes []*core.TreeNode, depth int) {
+		if depth > maxDepth {
+			return
+		}
+		for _, n := range nodes {
+			levels[depth-2].Add(n.Peer)
+			counts[depth-2]++
+			walk(n.Children, depth+1)
+		}
+	}
+	walk(t.Children, 2)
+	return &Leveled{Root: t.Root, Levels: levels}
+}
+
+// Trim returns the summary a peer attaches when forwarding: every level
+// shifts one deeper (the receiver's root is one hop above), dropping the
+// deepest level to respect the depth bound.
+func (l *Leveled) Trim() *Leveled {
+	if len(l.Levels) == 0 {
+		return &Leveled{Root: l.Root}
+	}
+	return &Leveled{Root: l.Root, Levels: l.Levels[:len(l.Levels)-1]}
+}
+
+// MinDepth returns the shallowest level at which provider may appear (depth
+// counted like core.FindRing: 2 = direct requester), and whether it appears
+// at all. A true result may be a false positive; a false result is
+// definitive.
+func (l *Leveled) MinDepth(provider core.PeerID) (int, bool) {
+	for i, f := range l.Levels {
+		if f.Contains(provider) {
+			return i + 2, true
+		}
+	}
+	return 0, false
+}
+
+// SizeBytes returns the total wire size of all levels.
+func (l *Leveled) SizeBytes() int {
+	total := 0
+	for _, f := range l.Levels {
+		total += f.SizeBytes()
+	}
+	return total
+}
+
+// HintRing checks, for each want, whether any known provider appears in the
+// summarized tree within the policy's ring limit, returning the best (per
+// policy) candidate depth. It is the filter-based analogue of
+// core.FindRing: it cannot name the ring members (the initiator "can only
+// determine that a cycle exists"), so resolution proceeds by next-hop
+// lookups, and false positives surface as failed resolutions.
+func HintRing(l *Leveled, wants []core.Want, pol core.Policy) (wantIdx, depth int, ok bool) {
+	if !pol.SearchesExchanges() {
+		return 0, 0, false
+	}
+	limit := pol.Limit()
+	best := -1
+	bestWant := 0
+	better := func(d, cur int) bool {
+		if cur == -1 {
+			return true
+		}
+		if pol.Kind == core.LongFirst {
+			return d > cur
+		}
+		return d < cur
+	}
+	for wi, w := range wants {
+		for p := range w.Providers {
+			d, found := l.MinDepth(p)
+			if !found || d > limit {
+				continue
+			}
+			if better(d, best) {
+				best, bestWant = d, wi
+			}
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return bestWant, best, true
+}

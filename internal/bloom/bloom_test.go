@@ -1,0 +1,216 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+	"barter/internal/rng"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(ids []int32) bool {
+		filter := NewFilter(len(ids)+1, 0.01)
+		for _, id := range ids {
+			filter.Add(core.PeerID(id))
+		}
+		for _, id := range ids {
+			if !filter.Contains(core.PeerID(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n, probes = 500, 20000
+	filter := NewFilter(n, 0.01)
+	for i := 0; i < n; i++ {
+		filter.Add(core.PeerID(i))
+	}
+	fp := 0
+	for i := n; i < n+probes; i++ {
+		if filter.Contains(core.PeerID(i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.4f, want near 0.01", rate)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	filter := NewFilter(100, 0.01)
+	for i := 0; i < 1000; i++ {
+		if filter.Contains(core.PeerID(i)) {
+			t.Fatalf("empty filter claims to contain %d", i)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := NewFilter(100, 0.01)
+	b := NewFilter(100, 0.01)
+	a.Add(1)
+	b.Add(2)
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Contains(1) || !a.Contains(2) {
+		t.Fatal("union lost elements")
+	}
+	c := NewFilter(10, 0.2)
+	if err := a.Union(c); err == nil {
+		t.Fatal("union of incompatible filters accepted")
+	}
+}
+
+// chainTree builds a linear request chain rooted at 0 (same shape as the
+// core package's test helper).
+func chainTree(n int) *core.Tree {
+	var child *core.TreeNode
+	for p := n - 1; p >= 1; p-- {
+		node := &core.TreeNode{Peer: core.PeerID(p), Object: catalog.ObjectID(p)}
+		if child != nil {
+			node.Children = []*core.TreeNode{child}
+		}
+		child = node
+	}
+	t := &core.Tree{Root: 0}
+	if child != nil {
+		t.Children = []*core.TreeNode{child}
+	}
+	return t
+}
+
+func TestSummarizeLevels(t *testing.T) {
+	tree := chainTree(5) // peers 1..4 at depths 2..5
+	sum := Summarize(tree, 5, 16, 0.01)
+	if len(sum.Levels) != 4 {
+		t.Fatalf("levels = %d, want 4", len(sum.Levels))
+	}
+	for i := 1; i <= 4; i++ {
+		d, ok := sum.MinDepth(core.PeerID(i))
+		if !ok || d != i+1 {
+			t.Fatalf("peer %d at depth %d (ok=%v), want %d", i, d, ok, i+1)
+		}
+	}
+	if _, ok := sum.MinDepth(99); ok {
+		t.Fatal("absent peer found in summary")
+	}
+}
+
+func TestTrimDropsDeepestLevel(t *testing.T) {
+	tree := chainTree(5)
+	sum := Summarize(tree, 5, 16, 0.01)
+	trimmed := sum.Trim()
+	if len(trimmed.Levels) != 3 {
+		t.Fatalf("trimmed levels = %d, want 3", len(trimmed.Levels))
+	}
+	if _, ok := trimmed.MinDepth(4); ok {
+		t.Fatal("deepest peer survived the trim")
+	}
+	if _, ok := trimmed.MinDepth(3); !ok {
+		t.Fatal("mid-level peer lost in the trim")
+	}
+	empty := (&Leveled{Root: 1}).Trim()
+	if len(empty.Levels) != 0 {
+		t.Fatal("trim of empty summary misbehaved")
+	}
+}
+
+func TestHintRingMatchesTreeSearch(t *testing.T) {
+	// On the same worlds, the filter hint must agree with the exact tree
+	// search about ring existence and depth, modulo false positives (which
+	// can only widen the hint, never miss a real ring).
+	r := rng.New(31)
+	for iter := 0; iter < 300; iter++ {
+		n := 2 + r.Intn(6)
+		tree := chainTree(n)
+		sum := Summarize(tree, 5, 32, 0.001)
+		provider := core.PeerID(r.Intn(8))
+		wants := []core.Want{{
+			Object:    999,
+			Providers: map[core.PeerID]bool{provider: true},
+		}}
+		for _, pol := range []core.Policy{core.PolicyPairwise, core.Policy2N, core.PolicyN2} {
+			ring, _, _, exactOK := core.FindRing(tree, wants, pol)
+			_, depth, hintOK := HintRing(sum, wants, pol)
+			if exactOK && !hintOK {
+				t.Fatalf("iter %d %v: hint missed a real ring (no false negatives allowed)", iter, pol)
+			}
+			if exactOK && hintOK && depth != ring.Size() {
+				t.Fatalf("iter %d %v: hint depth %d, exact ring size %d", iter, pol, depth, ring.Size())
+			}
+		}
+	}
+}
+
+func TestHintRingNoExchangePolicy(t *testing.T) {
+	sum := Summarize(chainTree(4), 5, 16, 0.01)
+	wants := []core.Want{{Object: 9, Providers: map[core.PeerID]bool{2: true}}}
+	if _, _, ok := HintRing(sum, wants, core.PolicyNoExchange); ok {
+		t.Fatal("no-exchange policy produced a hint")
+	}
+}
+
+func TestHintRingRespectsLimit(t *testing.T) {
+	sum := Summarize(chainTree(7), 7, 16, 0.001)
+	wants := []core.Want{{Object: 9, Providers: map[core.PeerID]bool{6: true}}} // depth 7
+	if _, _, ok := HintRing(sum, wants, core.Policy2N); ok {
+		t.Fatal("hint exceeded the 5-way limit")
+	}
+	if _, d, ok := HintRing(sum, wants, core.Policy{Kind: core.ShortFirst, MaxRing: 7}); !ok || d != 7 {
+		t.Fatalf("hint at limit 7: d=%d ok=%v", d, ok)
+	}
+}
+
+// TestCompressionVersusFullTree quantifies the paper's stated motivation:
+// the filters are much smaller than a wide request tree.
+func TestCompressionVersusFullTree(t *testing.T) {
+	// A wide tree: 64 requesters each with 32 children.
+	tree := &core.Tree{Root: 0}
+	id := core.PeerID(1)
+	for i := 0; i < 64; i++ {
+		child := &core.TreeNode{Peer: id, Object: catalog.ObjectID(id)}
+		id++
+		for j := 0; j < 32; j++ {
+			child.Children = append(child.Children, &core.TreeNode{Peer: id, Object: catalog.ObjectID(id)})
+			id++
+		}
+		tree.Children = append(tree.Children, child)
+	}
+	sum := Summarize(tree, 5, 2048, 0.01)
+	// Full tree wire size: 12 bytes per node (peer, object, parent).
+	fullBytes := tree.Size() * 12
+	if sum.SizeBytes() >= fullBytes {
+		t.Fatalf("summary (%d B) not smaller than full tree (%d B)", sum.SizeBytes(), fullBytes)
+	}
+	// And it still answers membership for every summarized peer.
+	if _, ok := sum.MinDepth(1); !ok {
+		t.Fatal("summary lost a requester")
+	}
+}
+
+func BenchmarkFilterAdd(b *testing.B) {
+	f := NewFilter(1000, 0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add(core.PeerID(i))
+	}
+}
+
+func BenchmarkHintRing(b *testing.B) {
+	sum := Summarize(chainTree(6), 5, 64, 0.01)
+	wants := []core.Want{{Object: 9, Providers: map[core.PeerID]bool{4: true}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HintRing(sum, wants, core.Policy2N)
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import "barter/internal/catalog"
+
+// Edge is one in-edge of the request graph as seen from a serving peer: Peer
+// requested Object from the peer whose adjacency list contains this edge.
+type Edge struct {
+	Peer   PeerID
+	Object catalog.ObjectID
+}
+
+// DefaultSearchBudget bounds how many request-graph nodes one ring search may
+// visit. The paper's Section V discusses exactly this cost concern (full
+// request trees "may be prohibitive for peers with a large number of incoming
+// requests"); real peers bound their search effort, and so do we.
+const DefaultSearchBudget = 4096
+
+// Graph searches the live request graph for exchange rings. It is the
+// simulator's counterpart of the tree-based FindRing: the simulator has the
+// current request graph available (per-peer incoming request queues), which
+// is equivalent to searching perfectly fresh request trees; staleness and
+// token validation are then handled by the caller at ring-start time.
+type Graph struct {
+	// Adj returns the in-edges of a peer: who has a live (unserved) request
+	// registered with it, and for which object. The order must be
+	// deterministic; it defines traversal tie-breaking.
+	Adj func(PeerID) []Edge
+	// Budget caps visited nodes per search (0 means DefaultSearchBudget).
+	Budget int
+	// Fanout caps how many in-edges are explored per node (0 = unlimited).
+	Fanout int
+}
+
+func (g Graph) budget() int {
+	if g.Budget <= 0 {
+		return DefaultSearchBudget
+	}
+	return g.Budget
+}
+
+func (g Graph) edges(p PeerID) []Edge {
+	es := g.Adj(p)
+	if g.Fanout > 0 && len(es) > g.Fanout {
+		es = es[:g.Fanout]
+	}
+	return es
+}
+
+// FindRing searches for the best ring rooted at root per the policy, exactly
+// like the tree-based FindRing but over live adjacency.
+func (g Graph) FindRing(root PeerID, wants []Want, pol Policy) (*Ring, int, SearchStats, bool) {
+	return g.search(root, nil, wants, pol)
+}
+
+// FindRingVia restricts the depth-2 frontier to the single edge first: it is
+// the cheap incremental search a peer runs when one new request arrives
+// ("on receipt of each request, it need only inspect the incoming request
+// tree associated with that request").
+func (g Graph) FindRingVia(root PeerID, first Edge, wants []Want, pol Policy) (*Ring, int, SearchStats, bool) {
+	return g.search(root, &first, wants, pol)
+}
+
+func (g Graph) search(root PeerID, first *Edge, wants []Want, pol Policy) (*Ring, int, SearchStats, bool) {
+	var stats SearchStats
+	if !pol.SearchesExchanges() || len(wants) == 0 {
+		return nil, 0, stats, false
+	}
+	if pol.Kind == LongFirst {
+		return g.searchDeepFirst(root, first, wants, pol, &stats)
+	}
+	return g.searchShallowFirst(root, first, wants, pol, &stats)
+}
+
+// match returns the index of the first want provided by p, or -1.
+func match(p PeerID, wants []Want, stats *SearchStats) int {
+	for i, w := range wants {
+		stats.WantsChecked++
+		if w.Providers[p] {
+			return i
+		}
+	}
+	return -1
+}
+
+// searchShallowFirst runs a breadth-first traversal, so the first candidate
+// found closes the smallest possible ring (ShortFirst and PairwiseOnly both
+// want the shallowest match, earliest within a level).
+func (g Graph) searchShallowFirst(root PeerID, first *Edge, wants []Want, pol Policy, stats *SearchStats) (*Ring, int, SearchStats, bool) {
+	limit := pol.Limit()
+	budget := g.budget()
+
+	type bfsNode struct {
+		edge   Edge
+		parent int // index into nodes, -1 for depth-2 nodes
+		depth  int
+	}
+	var nodes []bfsNode
+	visited := map[PeerID]bool{root: true}
+
+	build := func(idx, want int) (*Ring, int, SearchStats, bool) {
+		stats.Candidates++
+		var rev []Edge
+		for i := idx; i >= 0; i = nodes[i].parent {
+			rev = append(rev, nodes[i].edge)
+		}
+		ring := &Ring{Members: make([]Member, 0, len(rev)+1)}
+		ring.Members = append(ring.Members, Member{Peer: root, Gives: rev[len(rev)-1].Object})
+		for i := len(rev) - 1; i > 0; i-- {
+			ring.Members = append(ring.Members, Member{Peer: rev[i].Peer, Gives: rev[i-1].Object})
+		}
+		ring.Members = append(ring.Members, Member{Peer: rev[0].Peer, Gives: wants[want].Object})
+		return ring, want, *stats, true
+	}
+
+	push := func(e Edge, parent, depth int) (int, bool) {
+		if visited[e.Peer] || stats.NodesVisited >= budget {
+			return -1, false
+		}
+		visited[e.Peer] = true
+		stats.NodesVisited++
+		nodes = append(nodes, bfsNode{edge: e, parent: parent, depth: depth})
+		return len(nodes) - 1, true
+	}
+
+	// Seed the depth-2 frontier.
+	var frontier []Edge
+	if first != nil {
+		frontier = []Edge{*first}
+	} else {
+		frontier = g.edges(root)
+	}
+	for _, e := range frontier {
+		idx, ok := push(e, -1, 2)
+		if !ok {
+			continue
+		}
+		if w := match(e.Peer, wants, stats); w >= 0 {
+			return build(idx, w)
+		}
+	}
+	// Expand level by level; checking at push time preserves level order
+	// because every depth-d node is pushed before any depth-(d+1) node.
+	for head := 0; head < len(nodes); head++ {
+		n := nodes[head]
+		if n.depth >= limit {
+			continue
+		}
+		for _, e := range g.edges(n.edge.Peer) {
+			idx, ok := push(e, head, n.depth+1)
+			if !ok {
+				continue
+			}
+			if w := match(e.Peer, wants, stats); w >= 0 {
+				return build(idx, w)
+			}
+		}
+	}
+	return nil, 0, *stats, false
+}
+
+// searchDeepFirst runs a depth-first traversal tracking the deepest
+// candidate, returning immediately when a candidate at the ring-size limit
+// is found. Unlike BFS it may revisit a peer over different paths, so the
+// on-path set guards against repeated peers inside one ring.
+func (g Graph) searchDeepFirst(root PeerID, first *Edge, wants []Want, pol Policy, stats *SearchStats) (*Ring, int, SearchStats, bool) {
+	limit := pol.Limit()
+	budget := g.budget()
+
+	type candidate struct {
+		path []Edge
+		want int
+	}
+	var best *candidate
+	onPath := map[PeerID]bool{root: true}
+	path := make([]Edge, 0, limit)
+
+	var walk func(e Edge, depth int) bool // returns true to abort (limit hit)
+	walk = func(e Edge, depth int) bool {
+		if depth > limit || onPath[e.Peer] || stats.NodesVisited >= budget {
+			return false
+		}
+		stats.NodesVisited++
+		path = append(path, e)
+		onPath[e.Peer] = true
+		defer func() {
+			onPath[e.Peer] = false
+			path = path[:len(path)-1]
+		}()
+		if w := match(e.Peer, wants, stats); w >= 0 {
+			stats.Candidates++
+			if best == nil || len(path) > len(best.path) {
+				best = &candidate{path: append([]Edge(nil), path...), want: w}
+			}
+			if depth == limit {
+				return true
+			}
+		}
+		for _, c := range g.edges(e.Peer) {
+			if walk(c, depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var frontier []Edge
+	if first != nil {
+		frontier = []Edge{*first}
+	} else {
+		frontier = g.edges(root)
+	}
+	for _, e := range frontier {
+		if walk(e, 2) {
+			break
+		}
+	}
+	if best == nil {
+		return nil, 0, *stats, false
+	}
+	ring := &Ring{Members: make([]Member, 0, len(best.path)+1)}
+	ring.Members = append(ring.Members, Member{Peer: root, Gives: best.path[0].Object})
+	for i := 0; i < len(best.path)-1; i++ {
+		ring.Members = append(ring.Members, Member{Peer: best.path[i].Peer, Gives: best.path[i+1].Object})
+	}
+	last := best.path[len(best.path)-1]
+	ring.Members = append(ring.Members, Member{Peer: last.Peer, Gives: wants[best.want].Object})
+	return ring, best.want, *stats, true
+}

@@ -1,0 +1,129 @@
+// Package credit implements the related-work incentive baselines the paper
+// compares against conceptually (Section II): the eMule pairwise credit
+// system and the KaZaA-style self-reported participation level. Both plug
+// into the simulator's non-exchange service order (sim.Ranker), so the
+// ablation experiments can quantify how much weaker their incentives are
+// than exchange priority.
+package credit
+
+import (
+	"math"
+
+	"barter/internal/core"
+)
+
+type pair struct {
+	src, dst core.PeerID
+}
+
+// EMule reproduces the eMule upload-queue rank: a request's score is its
+// waiting time multiplied by a credit modifier derived from the pairwise
+// transfer history between the two peers. Following the eMule credit rules,
+// the modifier is min(2*uploaded/downloaded, sqrt(uploadedMB+2)), clamped to
+// [1, 10], where "uploaded" is what the requester previously uploaded to the
+// serving peer. With no download history the modifier is 10 when the
+// requester has uploaded anything, else 1.
+type EMule struct {
+	kbits map[pair]float64
+}
+
+// NewEMule returns an empty credit book.
+func NewEMule() *EMule {
+	return &EMule{kbits: make(map[pair]float64)}
+}
+
+// Score implements sim.Ranker.
+func (e *EMule) Score(server, requester core.PeerID, waited float64) float64 {
+	up := e.kbits[pair{src: requester, dst: server}]   // requester -> server
+	down := e.kbits[pair{src: server, dst: requester}] // server -> requester
+	modifier := 1.0
+	switch {
+	case up == 0:
+		modifier = 1
+	case down == 0:
+		modifier = 10
+	default:
+		r1 := 2 * up / down
+		r2 := math.Sqrt(up/8000 + 2) // kbits -> MB
+		modifier = math.Min(r1, r2)
+		if modifier < 1 {
+			modifier = 1
+		}
+		if modifier > 10 {
+			modifier = 10
+		}
+	}
+	return waited * modifier
+}
+
+// OnTransfer implements sim.Ranker.
+func (e *EMule) OnTransfer(src, dst core.PeerID, kbits float64) {
+	e.kbits[pair{src: src, dst: dst}] += kbits
+}
+
+// Credit returns the kbits src has uploaded to dst (exported for tests and
+// the creditcompare example).
+func (e *EMule) Credit(src, dst core.PeerID) float64 {
+	return e.kbits[pair{src: src, dst: dst}]
+}
+
+// KaZaA reproduces the self-reported "participation level" mechanism: each
+// peer announces a level computed from its claimed upload/download volumes,
+// and servers prioritize higher levels. Because the level is self-reported,
+// a trivially modified client can claim the maximum; Cheater marks peers
+// that do so (the paper cites exactly this hack as the reason the scheme
+// fails).
+type KaZaA struct {
+	uploaded   map[core.PeerID]float64
+	downloaded map[core.PeerID]float64
+	cheater    func(core.PeerID) bool
+}
+
+// MaxLevel is the cap of the participation level scale (KaZaA used 0-1000).
+const MaxLevel = 1000.0
+
+// NewKaZaA builds the mechanism. cheater reports whether a peer misreports
+// its level as MaxLevel; nil means everyone is honest.
+func NewKaZaA(cheater func(core.PeerID) bool) *KaZaA {
+	if cheater == nil {
+		cheater = func(core.PeerID) bool { return false }
+	}
+	return &KaZaA{
+		uploaded:   make(map[core.PeerID]float64),
+		downloaded: make(map[core.PeerID]float64),
+		cheater:    cheater,
+	}
+}
+
+// Level returns the participation level a peer announces: honest peers
+// report 100 * uploaded/downloaded (clamped to MaxLevel, 100 with no
+// history, the KaZaA formula); cheaters always report MaxLevel.
+func (k *KaZaA) Level(p core.PeerID) float64 {
+	if k.cheater(p) {
+		return MaxLevel
+	}
+	up, down := k.uploaded[p], k.downloaded[p]
+	if down == 0 {
+		if up > 0 {
+			return MaxLevel
+		}
+		return 100
+	}
+	level := 100 * up / down
+	if level > MaxLevel {
+		level = MaxLevel
+	}
+	return level
+}
+
+// Score implements sim.Ranker: participation level dominates, with waiting
+// time only breaking ties.
+func (k *KaZaA) Score(_, requester core.PeerID, waited float64) float64 {
+	return k.Level(requester)*1e6 + waited
+}
+
+// OnTransfer implements sim.Ranker.
+func (k *KaZaA) OnTransfer(src, dst core.PeerID, kbits float64) {
+	k.uploaded[src] += kbits
+	k.downloaded[dst] += kbits
+}

@@ -1,0 +1,105 @@
+package credit
+
+import (
+	"testing"
+
+	"barter/internal/core"
+)
+
+func TestEMuleNoHistoryScoresByWaiting(t *testing.T) {
+	e := NewEMule()
+	if got := e.Score(1, 2, 100); got != 100 {
+		t.Fatalf("Score with no history = %v, want 100 (waiting only)", got)
+	}
+}
+
+func TestEMuleUploaderOutranksStranger(t *testing.T) {
+	e := NewEMule()
+	e.OnTransfer(2, 1, 80_000) // peer 2 uploaded 10 MB to peer 1
+	uploader := e.Score(1, 2, 100)
+	stranger := e.Score(1, 3, 100)
+	if uploader <= stranger {
+		t.Fatalf("uploader score %v not above stranger %v", uploader, stranger)
+	}
+}
+
+func TestEMuleModifierClamped(t *testing.T) {
+	e := NewEMule()
+	// Massive one-way upload history: modifier must cap at 10.
+	e.OnTransfer(2, 1, 8_000_000)
+	e.OnTransfer(1, 2, 1)
+	if got, want := e.Score(1, 2, 1), 10.0; got > want {
+		t.Fatalf("modifier exceeded clamp: score %v with waited=1", got)
+	}
+	// Heavy downloader with no uploads: modifier must floor at 1.
+	f := NewEMule()
+	f.OnTransfer(1, 2, 8_000_000)
+	if got := f.Score(1, 2, 50); got != 50 {
+		t.Fatalf("freeloader score %v, want waiting-only 50", got)
+	}
+}
+
+func TestEMuleBalancedHistory(t *testing.T) {
+	e := NewEMule()
+	e.OnTransfer(2, 1, 16_000) // 2 MB up
+	e.OnTransfer(1, 2, 16_000) // 2 MB down
+	// ratio1 = 2, ratio2 = sqrt(4) = 2 -> modifier 2.
+	if got := e.Score(1, 2, 10); got != 20 {
+		t.Fatalf("balanced score = %v, want 20", got)
+	}
+}
+
+func TestEMuleCreditAccessor(t *testing.T) {
+	e := NewEMule()
+	e.OnTransfer(4, 5, 123)
+	if e.Credit(4, 5) != 123 {
+		t.Fatal("Credit accessor wrong")
+	}
+	if e.Credit(5, 4) != 0 {
+		t.Fatal("Credit direction confused")
+	}
+}
+
+func TestKaZaAHonestLevels(t *testing.T) {
+	k := NewKaZaA(nil)
+	if k.Level(1) != 100 {
+		t.Fatalf("fresh peer level = %v, want 100", k.Level(1))
+	}
+	k.OnTransfer(1, 9, 1000) // peer 1 uploads
+	k.OnTransfer(9, 1, 500)  // peer 1 downloads half as much
+	if got := k.Level(1); got != 200 {
+		t.Fatalf("2:1 ratio level = %v, want 200", got)
+	}
+}
+
+func TestKaZaALevelClamped(t *testing.T) {
+	k := NewKaZaA(nil)
+	k.OnTransfer(1, 9, 1e9)
+	k.OnTransfer(9, 1, 1)
+	if got := k.Level(1); got != MaxLevel {
+		t.Fatalf("level = %v, want clamp %v", got, MaxLevel)
+	}
+}
+
+func TestKaZaACheaterAlwaysMax(t *testing.T) {
+	k := NewKaZaA(func(p core.PeerID) bool { return p == 7 })
+	k.OnTransfer(9, 7, 1e9) // peer 7 is a pure leech
+	if k.Level(7) != MaxLevel {
+		t.Fatalf("cheater level = %v, want %v", k.Level(7), MaxLevel)
+	}
+	// The cheat defeats the mechanism: the leech outranks an honest
+	// contributor with a merely good ratio.
+	k.OnTransfer(3, 9, 2000)
+	k.OnTransfer(9, 3, 1000)
+	if k.Score(9, 7, 0) <= k.Score(9, 3, 1e5) {
+		t.Fatal("cheating leech did not outrank honest contributor")
+	}
+}
+
+func TestKaZaAUploaderWithNoDownloads(t *testing.T) {
+	k := NewKaZaA(nil)
+	k.OnTransfer(2, 9, 10)
+	if k.Level(2) != MaxLevel {
+		t.Fatalf("pure uploader level = %v, want %v", k.Level(2), MaxLevel)
+	}
+}

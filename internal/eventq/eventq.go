@@ -1,0 +1,229 @@
+// Package eventq implements the future event list of a discrete-event
+// simulation: a binary min-heap of timestamped events plus a virtual clock.
+//
+// Determinism is a design requirement for the reproduction study: two runs
+// with the same seed must execute the same event sequence. Events scheduled
+// for the same instant are therefore ordered by a monotonically increasing
+// sequence number, so heap ordering never depends on map iteration or pointer
+// values.
+package eventq
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Event is a unit of scheduled work. Fire is invoked by Queue.Run when the
+// virtual clock reaches the event's timestamp.
+type Event interface {
+	// Fire executes the event at virtual time now.
+	Fire(now float64)
+}
+
+// Func adapts a plain function to the Event interface.
+type Func func(now float64)
+
+// Fire implements Event.
+func (f Func) Fire(now float64) { f(now) }
+
+var _ Event = Func(nil)
+
+// ErrPast is returned when an event is scheduled before the current clock.
+var ErrPast = errors.New("eventq: schedule in the past")
+
+// Handle identifies a scheduled event so it can be cancelled. The zero Handle
+// is invalid.
+type Handle struct {
+	seq uint64
+}
+
+// Valid reports whether h refers to an event that was actually scheduled.
+func (h Handle) Valid() bool { return h.seq != 0 }
+
+type item struct {
+	at        float64
+	seq       uint64
+	ev        Event
+	cancelled bool
+	index     int // position in heap, -1 once popped
+}
+
+// Queue is a future event list with a virtual clock. The zero value is not
+// usable; call New.
+//
+// Queue is not safe for concurrent use: discrete-event simulation is
+// inherently sequential, and single-threaded execution is what guarantees
+// reproducibility.
+type Queue struct {
+	heap    []*item
+	byseq   map[uint64]*item
+	clock   float64
+	nextSeq uint64
+	fired   uint64
+}
+
+// New returns an empty queue with the clock at zero.
+func New() *Queue {
+	return &Queue{byseq: make(map[uint64]*item)}
+}
+
+// Now returns the current virtual time.
+func (q *Queue) Now() float64 { return q.clock }
+
+// Len returns the number of pending (non-cancelled) events.
+func (q *Queue) Len() int { return len(q.byseq) }
+
+// Fired returns the total number of events executed so far.
+func (q *Queue) Fired() uint64 { return q.fired }
+
+// At schedules ev to fire at absolute virtual time at. It returns a Handle
+// that can be passed to Cancel. Scheduling at the current instant is allowed;
+// scheduling in the past returns ErrPast.
+func (q *Queue) At(at float64, ev Event) (Handle, error) {
+	if at < q.clock {
+		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrPast, at, q.clock)
+	}
+	q.nextSeq++
+	it := &item{at: at, seq: q.nextSeq, ev: ev}
+	q.byseq[it.seq] = it
+	q.push(it)
+	return Handle{seq: it.seq}, nil
+}
+
+// After schedules ev to fire delay time units after the current clock.
+// Negative delays are rejected with ErrPast.
+func (q *Queue) After(delay float64, ev Event) (Handle, error) {
+	return q.At(q.clock+delay, ev)
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false if it already fired, was already cancelled, or the handle is
+// invalid).
+func (q *Queue) Cancel(h Handle) bool {
+	it, ok := q.byseq[h.seq]
+	if !ok || it.cancelled {
+		return false
+	}
+	// Lazy deletion: mark and drop the map entry; the heap entry is skipped
+	// when popped. This keeps Cancel O(1) and is safe because cancelled items
+	// never fire.
+	it.cancelled = true
+	delete(q.byseq, h.seq)
+	return true
+}
+
+// Step pops and fires the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was fired (false when the queue is
+// empty).
+func (q *Queue) Step() bool {
+	for len(q.heap) > 0 {
+		it := q.pop()
+		if it.cancelled {
+			continue
+		}
+		delete(q.byseq, it.seq)
+		q.clock = it.at
+		q.fired++
+		it.ev.Fire(q.clock)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in timestamp order until the queue is empty or the
+// next event is strictly after horizon. The clock is finally advanced to
+// horizon, so Now() == horizon afterwards. It returns the number of events
+// fired.
+func (q *Queue) RunUntil(horizon float64) uint64 {
+	var n uint64
+	for {
+		it := q.peek()
+		if it == nil || it.at > horizon {
+			break
+		}
+		if q.Step() {
+			n++
+		}
+	}
+	if horizon > q.clock {
+		q.clock = horizon
+	}
+	return n
+}
+
+// peek returns the earliest pending item without removing it, skipping over
+// lazily cancelled entries.
+func (q *Queue) peek() *item {
+	for len(q.heap) > 0 {
+		it := q.heap[0]
+		if !it.cancelled {
+			return it
+		}
+		q.pop()
+	}
+	return nil
+}
+
+// less orders items by timestamp, breaking ties by schedule order so that the
+// event sequence is fully deterministic.
+func less(a, b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) push(it *item) {
+	it.index = len(q.heap)
+	q.heap = append(q.heap, it)
+	q.up(it.index)
+}
+
+func (q *Queue) pop() *item {
+	n := len(q.heap)
+	it := q.heap[0]
+	q.swap(0, n-1)
+	q.heap[n-1] = nil
+	q.heap = q.heap[:n-1]
+	if len(q.heap) > 0 {
+		q.down(0)
+	}
+	it.index = -1
+	return it
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && less(q.heap[left], q.heap[smallest]) {
+			smallest = left
+		}
+		if right < n && less(q.heap[right], q.heap[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,274 @@
+package eventq
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	q := New()
+	if q.Now() != 0 {
+		t.Fatalf("new queue clock = %v, want 0", q.Now())
+	}
+	if q.Len() != 0 {
+		t.Fatalf("new queue len = %d, want 0", q.Len())
+	}
+	if q.Step() {
+		t.Fatal("Step on empty queue reported an event")
+	}
+}
+
+func TestFiresInTimestampOrder(t *testing.T) {
+	q := New()
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, at := range times {
+		at := at
+		if _, err := q.At(at, Func(func(now float64) { got = append(got, now) })); err != nil {
+			t.Fatalf("At(%v): %v", at, err)
+		}
+	}
+	q.RunUntil(10)
+	want := []float64{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTiesFireInScheduleOrder(t *testing.T) {
+	q := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		if _, err := q.At(7, Func(func(float64) { got = append(got, i) })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.RunUntil(7)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order at index %d = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	q := New()
+	if _, err := q.At(5, Func(func(float64) {})); err != nil {
+		t.Fatal(err)
+	}
+	q.RunUntil(5)
+	if _, err := q.At(4, Func(func(float64) {})); !errors.Is(err, ErrPast) {
+		t.Fatalf("At in the past: err = %v, want ErrPast", err)
+	}
+	if _, err := q.After(-1, Func(func(float64) {})); !errors.Is(err, ErrPast) {
+		t.Fatalf("After negative: err = %v, want ErrPast", err)
+	}
+}
+
+func TestScheduleAtCurrentInstant(t *testing.T) {
+	q := New()
+	fired := false
+	if _, err := q.At(0, Func(func(float64) { fired = true })); err != nil {
+		t.Fatal(err)
+	}
+	q.RunUntil(0)
+	if !fired {
+		t.Fatal("event at the current instant did not fire")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q := New()
+	fired := false
+	h, err := q.At(1, Func(func(float64) { fired = true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Cancel(h) {
+		t.Fatal("Cancel of pending event returned false")
+	}
+	if q.Cancel(h) {
+		t.Fatal("second Cancel returned true")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after cancel = %d, want 0", q.Len())
+	}
+	q.RunUntil(2)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelInvalidHandle(t *testing.T) {
+	q := New()
+	if q.Cancel(Handle{}) {
+		t.Fatal("Cancel of zero handle returned true")
+	}
+	var h Handle
+	if h.Valid() {
+		t.Fatal("zero handle reports valid")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	q := New()
+	h, err := q.At(1, Func(func(float64) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.RunUntil(1)
+	if q.Cancel(h) {
+		t.Fatal("Cancel after fire returned true")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	q := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		if _, err := q.At(at, Func(func(now float64) { fired = append(fired, now) })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := q.RunUntil(3)
+	if n != 3 {
+		t.Fatalf("RunUntil(3) fired %d, want 3", n)
+	}
+	if q.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", q.Now())
+	}
+	if q.Len() != 2 {
+		t.Fatalf("pending = %d, want 2", q.Len())
+	}
+	// Clock advances to horizon even with no event exactly there.
+	q.RunUntil(4.5)
+	if q.Now() != 4.5 {
+		t.Fatalf("clock = %v, want 4.5", q.Now())
+	}
+}
+
+func TestEventSchedulesEvent(t *testing.T) {
+	q := New()
+	var order []string
+	if _, err := q.At(1, Func(func(float64) {
+		order = append(order, "first")
+		if _, err := q.After(1, Func(func(float64) { order = append(order, "second") })); err != nil {
+			t.Errorf("nested After: %v", err)
+		}
+	})); err != nil {
+		t.Fatal(err)
+	}
+	q.RunUntil(10)
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("order = %v, want [first second]", order)
+	}
+	if q.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", q.Fired())
+	}
+}
+
+func TestEventCancelsPeer(t *testing.T) {
+	q := New()
+	fired := false
+	var victim Handle
+	var err error
+	victim, err = q.At(2, Func(func(float64) { fired = true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.At(1, Func(func(float64) { q.Cancel(victim) })); err != nil {
+		t.Fatal(err)
+	}
+	q.RunUntil(3)
+	if fired {
+		t.Fatal("event cancelled by an earlier event still fired")
+	}
+}
+
+// TestPropertyHeapOrdersArbitraryTimestamps verifies, for random schedules,
+// that events fire in nondecreasing timestamp order and every non-cancelled
+// event fires exactly once.
+func TestPropertyHeapOrdersArbitraryTimestamps(t *testing.T) {
+	f := func(raw []uint16, cancelMask []bool) bool {
+		q := New()
+		var fireTimes []float64
+		handles := make([]Handle, len(raw))
+		expected := 0
+		for i, r := range raw {
+			at := float64(r % 1000)
+			h, err := q.At(at, Func(func(now float64) { fireTimes = append(fireTimes, now) }))
+			if err != nil {
+				return false
+			}
+			handles[i] = h
+		}
+		cancelled := make(map[int]bool)
+		for i := range handles {
+			if i < len(cancelMask) && cancelMask[i] {
+				q.Cancel(handles[i])
+				cancelled[i] = true
+			}
+		}
+		for i := range handles {
+			if !cancelled[i] {
+				expected++
+			}
+		}
+		q.RunUntil(1e9)
+		if len(fireTimes) != expected {
+			return false
+		}
+		return sort.Float64sAreSorted(fireTimes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRandomWorkload(t *testing.T) {
+	q := New()
+	r := rand.New(rand.NewSource(42))
+	const n = 20000
+	var fired int
+	last := -1.0
+	for i := 0; i < n; i++ {
+		at := r.Float64() * 1000
+		if _, err := q.At(at, Func(func(now float64) {
+			if now < last {
+				t.Errorf("time went backwards: %v after %v", now, last)
+			}
+			last = now
+			fired++
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.RunUntil(1001)
+	if fired != n {
+		t.Fatalf("fired %d of %d events", fired, n)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	q := New()
+	r := rand.New(rand.NewSource(7))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		at := q.Now() + r.Float64()
+		if _, err := q.At(at, Func(func(float64) {})); err != nil {
+			b.Fatal(err)
+		}
+		if i%4 == 3 {
+			q.Step()
+		}
+	}
+}

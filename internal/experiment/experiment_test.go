@@ -1,0 +1,300 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"barter/internal/metrics"
+)
+
+func quickOpts() Options { return Options{Seed: 1, Quick: true} }
+
+func runExp(t *testing.T, id string) *Report {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	rep, err := e.Run(quickOpts())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return rep
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table2", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12",
+		"ablation-preemption", "ablation-credit", "ablation-search",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("registry[%d] = %q, want %q", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].Description == "" || all[i].Run == nil {
+			t.Fatalf("experiment %q incomplete", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID found a nonexistent experiment")
+	}
+}
+
+func seriesY(t *testing.T, tab *metrics.Table, name string) []float64 {
+	t.Helper()
+	s := tab.Get(name)
+	if s == nil {
+		t.Fatalf("series %q missing; have %v", name, seriesNames(tab))
+	}
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Y
+	}
+	return out
+}
+
+func seriesNames(tab *metrics.Table) []string {
+	var names []string
+	for _, s := range tab.Series {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+func TestTable2MentionsPaperParameters(t *testing.T) {
+	rep := runExp(t, "table2")
+	for _, want := range []string{"number of peers", "upload capacity", "freeloaders", "max pending"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Fatalf("table2 missing %q:\n%s", want, rep.Text)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	rep := runExp(t, "fig4")
+	tab := rep.Tables[0]
+	for _, name := range []string{
+		"pairwise/sharing", "pairwise/non-sharing",
+		"5-2-way/sharing", "5-2-way/non-sharing",
+		"2-5-way/sharing", "2-5-way/non-sharing",
+		"no exchange",
+	} {
+		if tab.Get(name) == nil {
+			t.Fatalf("fig4 missing series %q; have %v", name, seriesNames(tab))
+		}
+	}
+	// Paper shape: at the tightest capacity (last sweep point), sharing
+	// users beat non-sharing users under every exchange policy.
+	for _, pol := range []string{"pairwise", "5-2-way", "2-5-way"} {
+		sh := seriesY(t, tab, pol+"/sharing")
+		non := seriesY(t, tab, pol+"/non-sharing")
+		last := len(sh) - 1
+		if sh[last] >= non[last] {
+			t.Errorf("fig4 %s: sharing %.1f not below non-sharing %.1f at tightest capacity",
+				pol, sh[last], non[last])
+		}
+	}
+}
+
+func TestFig5FractionRisesWithLoad(t *testing.T) {
+	rep := runExp(t, "fig5")
+	tab := rep.Tables[0]
+	for _, pol := range []string{"pairwise", "5-2-way", "2-5-way"} {
+		ys := seriesY(t, tab, pol)
+		for _, y := range ys {
+			if y < 0 || y > 1 {
+				t.Fatalf("fig5 %s: fraction %v out of [0,1]", pol, y)
+			}
+		}
+		// x runs from high capacity to low; the fraction at the loaded end
+		// must exceed the unloaded end (paper: grows almost linearly).
+		if ys[len(ys)-1] <= ys[0] {
+			t.Errorf("fig5 %s: fraction did not grow with load (%v)", pol, ys)
+		}
+	}
+}
+
+func TestFig6RingBenefitShape(t *testing.T) {
+	rep := runExp(t, "fig6")
+	tab := rep.Tables[0]
+	// Paper shape: allowing rings (N=2) differentiates the classes relative
+	// to N=1 (no exchange).
+	sh := seriesY(t, tab, "2-N-way/sharing")
+	non := seriesY(t, tab, "2-N-way/non-sharing")
+	if len(sh) < 3 {
+		t.Fatalf("fig6 too few points: %d", len(sh))
+	}
+	gapN1 := non[0] / sh[0]
+	gapN2 := non[1] / sh[1]
+	if gapN2 <= gapN1*0.98 {
+		t.Errorf("fig6: pairwise (N=2) gap %.2f not above no-exchange gap %.2f", gapN2, gapN1)
+	}
+}
+
+func TestFig7CDFsWellFormed(t *testing.T) {
+	rep := runExp(t, "fig7")
+	tab := rep.Tables[0]
+	if tab.Get("non-exchange") == nil || tab.Get("pairwise") == nil {
+		t.Fatalf("fig7 missing base classes; have %v", seriesNames(tab))
+	}
+	for _, s := range tab.Series {
+		prev := -1.0
+		for _, p := range s.Points {
+			if p.Y < prev || p.Y < 0 || p.Y > 1 {
+				t.Fatalf("fig7 %s: CDF not monotone in [0,1]", s.Name)
+			}
+			prev = p.Y
+		}
+	}
+}
+
+func TestFig8WaitingWorseForNonExchange(t *testing.T) {
+	rep := runExp(t, "fig8")
+	tab := rep.Tables[0]
+	nx := tab.Get("non-exchange")
+	pw := tab.Get("pairwise")
+	if nx == nil || pw == nil {
+		t.Fatalf("fig8 missing classes; have %v", seriesNames(tab))
+	}
+	// Paper shape: exchange transfers start much sooner; compare medians
+	// (x value where the CDF crosses 0.5).
+	med := func(s *metrics.Series) float64 {
+		for _, p := range s.Points {
+			if p.Y >= 0.5 {
+				return p.X
+			}
+		}
+		return math.Inf(1)
+	}
+	if med(pw) > med(nx) {
+		t.Errorf("fig8: pairwise median wait %.1f above non-exchange %.1f", med(pw), med(nx))
+	}
+}
+
+func TestFig9PopularitySweep(t *testing.T) {
+	rep := runExp(t, "fig9")
+	tab := rep.Tables[0]
+	sh := seriesY(t, tab, "2-5-way/sharing")
+	non := seriesY(t, tab, "2-5-way/non-sharing")
+	// Differentiation exists at the zipf-like end (last point).
+	last := len(sh) - 1
+	if sh[last] >= non[last] {
+		t.Errorf("fig9: no differentiation at f=1 (sharing %.1f, non %.1f)", sh[last], non[last])
+	}
+}
+
+func TestFig10VolumesPositive(t *testing.T) {
+	rep := runExp(t, "fig10")
+	tab := rep.Tables[0]
+	sh := seriesY(t, tab, "2-5-way/sharing")
+	non := seriesY(t, tab, "2-5-way/non-sharing")
+	for i := range sh {
+		if sh[i] <= 0 {
+			t.Fatalf("fig10: non-positive sharing volume %v", sh[i])
+		}
+		// Paper shape: sharers move more data than free-riders.
+		if sh[i] <= non[i] {
+			t.Errorf("fig10: sharing volume %.0f MB not above non-sharing %.0f MB", sh[i], non[i])
+		}
+	}
+}
+
+func TestFig11SpeedupsPresent(t *testing.T) {
+	rep := runExp(t, "fig11")
+	tab := rep.Tables[0]
+	for _, name := range []string{"cat/peer=2", "cat/peer=4", "cat/peer=8"} {
+		ys := seriesY(t, tab, name)
+		for _, y := range ys {
+			if math.IsNaN(y) || y <= 0 {
+				t.Fatalf("fig11 %s: bad speedup %v", name, y)
+			}
+		}
+	}
+}
+
+func TestFig12GapPersistsAcrossFreeriderFractions(t *testing.T) {
+	rep := runExp(t, "fig12")
+	tab := rep.Tables[0]
+	sh := seriesY(t, tab, "2-5-way/sharing")
+	non := seriesY(t, tab, "2-5-way/non-sharing")
+	// Paper: the gap persists regardless of the non-sharing fraction.
+	better := 0
+	for i := range sh {
+		if sh[i] < non[i] {
+			better++
+		}
+	}
+	if better < len(sh)-1 {
+		t.Errorf("fig12: sharing beat non-sharing at only %d of %d fractions", better, len(sh))
+	}
+}
+
+func TestAblationPreemption(t *testing.T) {
+	rep := runExp(t, "ablation-preemption")
+	tab := rep.Tables[0]
+	with := seriesY(t, tab, "with preemption")
+	without := seriesY(t, tab, "without preemption")
+	if len(with) != len(without) {
+		t.Fatalf("series lengths differ")
+	}
+	for _, y := range append(append([]float64{}, with...), without...) {
+		if math.IsNaN(y) || y <= 0 {
+			t.Fatalf("bad speedup value %v", y)
+		}
+	}
+}
+
+func TestAblationCreditOrdering(t *testing.T) {
+	rep := runExp(t, "ablation-credit")
+	tab := rep.Tables[0]
+	exch := seriesY(t, tab, "exchange (2-5-way)")
+	fifo := seriesY(t, tab, "fifo (no incentive)")
+	kazaa := seriesY(t, tab, "kazaa level (cheated)")
+	// The paper's core claim: exchanges discriminate, cheated self-reports
+	// do not. Compare at the most loaded sweep point.
+	last := len(exch) - 1
+	if exch[last] <= fifo[last] {
+		t.Errorf("exchange speedup %.2f not above fifo %.2f", exch[last], fifo[last])
+	}
+	if kazaa[last] >= exch[last] {
+		t.Errorf("cheated kazaa speedup %.2f not below exchange %.2f", kazaa[last], exch[last])
+	}
+}
+
+func TestAblationSearchBudget(t *testing.T) {
+	rep := runExp(t, "ablation-search")
+	tab := rep.Tables[0]
+	frac := seriesY(t, tab, "exchange fraction")
+	if len(frac) < 2 {
+		t.Fatal("too few budget points")
+	}
+	// A tiny budget must not beat a large one by much; mostly this checks
+	// the sweep runs and produces sane fractions.
+	for _, f := range frac {
+		if f < 0 || f > 1 {
+			t.Fatalf("fraction %v out of range", f)
+		}
+	}
+}
+
+func TestReportTSV(t *testing.T) {
+	rep := runExp(t, "fig5")
+	out := rep.TSV()
+	if !strings.Contains(out, "# Figure 5") || !strings.Contains(out, "pairwise") {
+		t.Fatalf("TSV missing content:\n%s", out)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.seed() != 1 {
+		t.Fatalf("default seed = %d, want 1", o.seed())
+	}
+	o.progress("no sink, must not panic")
+}

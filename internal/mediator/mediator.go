@@ -1,0 +1,314 @@
+// Package mediator implements the trusted-mediator defense of Section III-B
+// against middleman cheating: both directions of an exchange are encrypted,
+// each with a secret key known only to the sending peer and the mediator;
+// every block carries an encrypted control header naming its origin and
+// intended recipient; and when the transfer completes the mediator audits a
+// random sample of blocks before releasing the keys — to the peers named in
+// the control headers, so a middleman who peddled someone else's blocks
+// gains nothing.
+package mediator
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+	"barter/internal/protocol"
+	"barter/internal/transport"
+)
+
+// ErrRejected is returned by Client.Verify when the audit fails.
+var ErrRejected = errors.New("mediator: audit rejected the exchange")
+
+// headerLen is the encrypted control header prefix of each sealed payload:
+// origin (4) + recipient (4) + object (4) + index (4).
+const headerLen = 16
+
+// Seal encrypts one block payload with its control header using AES-CTR
+// under key. The nonce is derived from (object, index) so blocks are
+// independently decryptable.
+func Seal(key [16]byte, origin, recipient core.PeerID, obj catalog.ObjectID, index uint32, payload []byte) ([]byte, error) {
+	buf := make([]byte, headerLen+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(origin))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(recipient))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(obj))
+	binary.BigEndian.PutUint32(buf[12:16], index)
+	copy(buf[headerLen:], payload)
+	return crypt(key, obj, index, buf)
+}
+
+// Open decrypts a sealed block, returning the control header fields and the
+// plaintext payload.
+func Open(key [16]byte, obj catalog.ObjectID, index uint32, sealed []byte) (origin, recipient core.PeerID, payload []byte, err error) {
+	if len(sealed) < headerLen {
+		return 0, 0, nil, errors.New("mediator: sealed block too short")
+	}
+	plain, err := crypt(key, obj, index, sealed)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	origin = core.PeerID(binary.BigEndian.Uint32(plain[0:4]))
+	recipient = core.PeerID(binary.BigEndian.Uint32(plain[4:8]))
+	gotObj := catalog.ObjectID(binary.BigEndian.Uint32(plain[8:12]))
+	gotIdx := binary.BigEndian.Uint32(plain[12:16])
+	if gotObj != obj || gotIdx != index {
+		return 0, 0, nil, errors.New("mediator: control header does not match block position")
+	}
+	return origin, recipient, plain[headerLen:], nil
+}
+
+// crypt applies AES-CTR with a per-(object, index) nonce; it is its own
+// inverse.
+func crypt(key [16]byte, obj catalog.ObjectID, index uint32, data []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	var iv [16]byte
+	binary.BigEndian.PutUint32(iv[0:4], uint32(obj))
+	binary.BigEndian.PutUint32(iv[4:8], index)
+	out := make([]byte, len(data))
+	cipher.NewCTR(block, iv[:]).XORKeyStream(out, data)
+	return out, nil
+}
+
+// DigestOracle supplies the mediator's trustworthy source of valid block
+// checksums (Section III-B assumes one exists; a content registry plays the
+// role here).
+type DigestOracle func(catalog.ObjectID) ([][32]byte, bool)
+
+// Mediator is the trusted audit-and-escrow service. It listens on a
+// transport and serves MedDeposit and MedVerify messages.
+type Mediator struct {
+	oracle DigestOracle
+	ln     transport.Listener
+
+	mu       sync.Mutex
+	deposits map[depositKey][16]byte
+	flagged  map[core.PeerID]int // peers caught cheating, with counts
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+type depositKey struct {
+	exchange uint64
+	sender   core.PeerID
+}
+
+// New starts a mediator listening on addr.
+func New(tr transport.Transport, addr string, oracle DigestOracle) (*Mediator, error) {
+	if oracle == nil {
+		return nil, errors.New("mediator: digest oracle is required")
+	}
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mediator{
+		oracle:   oracle,
+		ln:       ln,
+		deposits: make(map[depositKey][16]byte),
+		flagged:  make(map[core.PeerID]int),
+		stop:     make(chan struct{}),
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the mediator's dialable address.
+func (m *Mediator) Addr() string { return m.ln.Addr() }
+
+// Close stops the mediator.
+func (m *Mediator) Close() {
+	select {
+	case <-m.stop:
+		return
+	default:
+	}
+	close(m.stop)
+	_ = m.ln.Close()
+	m.wg.Wait()
+}
+
+// Flagged returns how many times a peer failed an audit.
+func (m *Mediator) Flagged(p core.PeerID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flagged[p]
+}
+
+func (m *Mediator) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.wg.Add(1)
+		go m.serve(conn)
+	}
+}
+
+func (m *Mediator) serve(conn transport.Conn) {
+	defer m.wg.Done()
+	defer conn.Close() //nolint:errcheck // teardown
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch req := msg.(type) {
+		case *protocol.Hello:
+			// Accepted for compatibility with node connections; no reply.
+		case *protocol.MedDeposit:
+			m.mu.Lock()
+			m.deposits[depositKey{exchange: req.ExchangeID, sender: req.Sender}] = req.Key
+			m.mu.Unlock()
+			// Echo as the deposit acknowledgement so clients can treat
+			// escrow as synchronous.
+			_ = conn.Send(&protocol.MedKey{ExchangeID: req.ExchangeID, Key: req.Key})
+		case *protocol.MedVerify:
+			m.handleVerify(conn, req)
+		default:
+			// Ignore unrelated traffic.
+		}
+	}
+}
+
+// handleVerify audits the sample blocks the requester received from Sender:
+// every sample must decrypt under the sender's escrowed key to a block whose
+// control header names the sender as origin and the requester as recipient,
+// and whose payload digest matches the oracle. Only then is the key
+// released — and it is sent to the connection that proved receipt, which by
+// the header check is the intended recipient.
+func (m *Mediator) handleVerify(conn transport.Conn, req *protocol.MedVerify) {
+	reject := func(reason string) {
+		m.mu.Lock()
+		m.flagged[req.Sender]++
+		m.mu.Unlock()
+		_ = conn.Send(&protocol.MedReject{ExchangeID: req.ExchangeID, Reason: reason})
+	}
+	m.mu.Lock()
+	key, ok := m.deposits[depositKey{exchange: req.ExchangeID, sender: req.Sender}]
+	m.mu.Unlock()
+	if !ok {
+		reject("no escrowed key for claimed sender")
+		return
+	}
+	digests, ok := m.oracle(req.Object)
+	if !ok {
+		reject("object unknown to digest oracle")
+		return
+	}
+	if len(req.Samples) == 0 {
+		reject("no samples supplied")
+		return
+	}
+	for _, sample := range req.Samples {
+		if sample.Object != req.Object {
+			reject("sample from a different object")
+			return
+		}
+		origin, recipient, payload, err := Open(key, sample.Object, sample.Index, sample.Payload)
+		if err != nil {
+			reject(fmt.Sprintf("sample %d: %v", sample.Index, err))
+			return
+		}
+		if origin != req.Sender {
+			// The claimed sender did not author these blocks: the classic
+			// middleman peddling someone else's transfer.
+			reject(fmt.Sprintf("sample %d authored by %d, not %d", sample.Index, origin, req.Sender))
+			return
+		}
+		if recipient != req.Requester {
+			reject(fmt.Sprintf("sample %d addressed to %d, not %d", sample.Index, recipient, req.Requester))
+			return
+		}
+		if int(sample.Index) >= len(digests) || sha256.Sum256(payload) != digests[sample.Index] {
+			reject(fmt.Sprintf("sample %d fails content audit", sample.Index))
+			return
+		}
+	}
+	_ = conn.Send(&protocol.MedKey{ExchangeID: req.ExchangeID, Key: key})
+}
+
+// --- client-side helpers ------------------------------------------------------
+
+// Client is a peer-side handle to a mediator.
+type Client struct {
+	conn transport.Conn
+	mu   sync.Mutex
+}
+
+// Dial connects to a mediator.
+func Dial(tr transport.Transport, addr string) (*Client, error) {
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() { _ = c.conn.Close() }
+
+// Deposit escrows a sender's key for one exchange, waiting for the
+// mediator's acknowledgement so a subsequent audit is guaranteed to see it.
+func (c *Client) Deposit(exchangeID uint64, sender core.PeerID, obj catalog.ObjectID, key [16]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.conn.Send(&protocol.MedDeposit{ExchangeID: exchangeID, Sender: sender, Object: obj, Key: key})
+	if err != nil {
+		return err
+	}
+	for {
+		msg, err := c.conn.Recv()
+		if err != nil {
+			return err
+		}
+		if ack, ok := msg.(*protocol.MedKey); ok && ack.ExchangeID == exchangeID && ack.Key == key {
+			return nil
+		}
+	}
+}
+
+// Verify submits received sample blocks and waits for the mediator's
+// verdict: the sender's key on success, ErrRejected on a failed audit.
+func (c *Client) Verify(exchangeID uint64, requester, sender core.PeerID, obj catalog.ObjectID, samples []protocol.Block) ([16]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.conn.Send(&protocol.MedVerify{
+		ExchangeID: exchangeID,
+		Requester:  requester,
+		Sender:     sender,
+		Object:     obj,
+		Samples:    samples,
+	})
+	if err != nil {
+		return [16]byte{}, err
+	}
+	for {
+		msg, err := c.conn.Recv()
+		if err != nil {
+			return [16]byte{}, err
+		}
+		switch v := msg.(type) {
+		case *protocol.MedKey:
+			if v.ExchangeID == exchangeID {
+				return v.Key, nil
+			}
+		case *protocol.MedReject:
+			if v.ExchangeID == exchangeID {
+				return [16]byte{}, fmt.Errorf("%w: %s", ErrRejected, v.Reason)
+			}
+		}
+	}
+}

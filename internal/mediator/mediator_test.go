@@ -1,0 +1,305 @@
+package mediator
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"testing"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+	"barter/internal/protocol"
+	"barter/internal/transport"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key := [16]byte{1, 2, 3}
+	payload := []byte("the quick brown fox")
+	sealed, err := Seal(key, 7, 9, 42, 3, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, payload) {
+		t.Fatal("sealed block leaks plaintext")
+	}
+	origin, recipient, got, err := Open(key, 42, 3, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != 7 || recipient != 9 || !bytes.Equal(got, payload) {
+		t.Fatalf("Open = (%d, %d, %q)", origin, recipient, got)
+	}
+}
+
+func TestOpenWrongKeyFails(t *testing.T) {
+	sealed, err := Seal([16]byte{1}, 7, 9, 42, 3, []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong key: either the header check fails or origin/recipient decode
+	// to garbage; both must be detectable.
+	origin, recipient, _, err := Open([16]byte{2}, 42, 3, sealed)
+	if err == nil && origin == 7 && recipient == 9 {
+		t.Fatal("wrong key decrypted to the correct header")
+	}
+}
+
+func TestOpenWrongPositionFails(t *testing.T) {
+	key := [16]byte{5}
+	sealed, err := Seal(key, 7, 9, 42, 3, []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(key, 42, 4, sealed); err == nil {
+		t.Fatal("block accepted at the wrong index")
+	}
+	if _, _, _, err := Open(key, 43, 3, sealed); err == nil {
+		t.Fatal("block accepted for the wrong object")
+	}
+}
+
+func TestOpenTruncated(t *testing.T) {
+	if _, _, _, err := Open([16]byte{}, 1, 1, []byte("short")); err == nil {
+		t.Fatal("truncated sealed block accepted")
+	}
+}
+
+// mediated test fixture: object content and oracle.
+func fixture(t *testing.T) (tr *transport.Mem, med *Mediator, obj catalog.ObjectID, blocks [][]byte) {
+	t.Helper()
+	tr = transport.NewMem()
+	obj = catalog.ObjectID(42)
+	blocks = [][]byte{[]byte("block-zero"), []byte("block-one"), []byte("block-two")}
+	digests := make([][32]byte, len(blocks))
+	for i, b := range blocks {
+		digests[i] = sha256.Sum256(b)
+	}
+	oracle := func(o catalog.ObjectID) ([][32]byte, bool) {
+		if o == obj {
+			return digests, true
+		}
+		return nil, false
+	}
+	var err error
+	med, err = New(tr, "mem://mediator", oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(med.Close)
+	return tr, med, obj, blocks
+}
+
+func sealAll(t *testing.T, key [16]byte, origin, recipient core.PeerID, obj catalog.ObjectID, blocks [][]byte) []protocol.Block {
+	t.Helper()
+	out := make([]protocol.Block, len(blocks))
+	for i, b := range blocks {
+		sealed, err := Seal(key, origin, recipient, obj, uint32(i), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = protocol.Block{Object: obj, Index: uint32(i), Origin: origin, Recipient: recipient, Encrypted: true, Payload: sealed}
+	}
+	return out
+}
+
+// TestHonestExchangeReleasesKey is the happy path: sender A deposits its
+// key, receiver B verifies the sealed blocks it received, gets the key, and
+// decrypts.
+func TestHonestExchangeReleasesKey(t *testing.T) {
+	tr, _, obj, blocks := fixture(t)
+	var keyA [16]byte
+	copy(keyA[:], "secret-key-of-A!")
+	const peerA, peerB core.PeerID = 1, 2
+
+	sealed := sealAll(t, keyA, peerA, peerB, obj, blocks)
+
+	clientA, err := Dial(tr, "mem://mediator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientA.Close()
+	if err := clientA.Deposit(100, peerA, obj, keyA); err != nil {
+		t.Fatal(err)
+	}
+
+	clientB, err := Dial(tr, "mem://mediator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientB.Close()
+	key, err := clientB.Verify(100, peerB, peerA, obj, sealed[:2])
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if key != keyA {
+		t.Fatal("released key differs from deposit")
+	}
+	// B can now decrypt everything.
+	for i, sb := range sealed {
+		_, _, payload, err := Open(key, obj, sb.Index, sb.Payload)
+		if err != nil {
+			t.Fatalf("decrypt block %d: %v", i, err)
+		}
+		if !bytes.Equal(payload, blocks[i]) {
+			t.Fatalf("block %d corrupted", i)
+		}
+	}
+}
+
+// TestMiddlemanCaught reproduces the Section III-B attack: M relays A's
+// sealed blocks to C while claiming to be their source. The audit decrypts
+// with M's deposited key, finds garbage (or A's origin header), and refuses
+// to release anything.
+func TestMiddlemanCaught(t *testing.T) {
+	tr, med, obj, blocks := fixture(t)
+	const peerA, peerM, peerC core.PeerID = 1, 2, 3
+	var keyA, keyM [16]byte
+	copy(keyA[:], "key-of-honest-A!")
+	copy(keyM[:], "key-of-cheater-M")
+
+	// A seals blocks for its exchange with M (A believes M is the trader).
+	sealedByA := sealAll(t, keyA, peerA, peerM, obj, blocks)
+
+	// Both keys are escrowed for exchange 200: A's honestly, M's as the
+	// claimed sender of the relayed blocks.
+	depositor, err := Dial(tr, "mem://mediator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer depositor.Close()
+	if err := depositor.Deposit(200, peerA, obj, keyA); err != nil {
+		t.Fatal(err)
+	}
+	if err := depositor.Deposit(200, peerM, obj, keyM); err != nil {
+		t.Fatal(err)
+	}
+
+	// M relays A's sealed blocks to C unchanged (it cannot re-author the
+	// encrypted headers). C verifies, claiming sender M.
+	clientC, err := Dial(tr, "mem://mediator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientC.Close()
+	_, err = clientC.Verify(200, peerC, peerM, obj, sealedByA[:2])
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("middleman relay passed the audit: %v", err)
+	}
+	if med.Flagged(peerM) == 0 {
+		t.Fatal("mediator did not flag the middleman")
+	}
+}
+
+// TestMisaddressedBlocksRejected: even with the right key, blocks sealed for
+// a different recipient fail the audit (a middleman forwarding blocks that
+// were addressed to it, alongside the real key, still gains nothing for the
+// downstream peer).
+func TestMisaddressedBlocksRejected(t *testing.T) {
+	tr, _, obj, blocks := fixture(t)
+	const peerA, peerM, peerC core.PeerID = 1, 2, 3
+	var keyA [16]byte
+	copy(keyA[:], "key-of-honest-A!")
+	sealedForM := sealAll(t, keyA, peerA, peerM, obj, blocks)
+
+	client, err := Dial(tr, "mem://mediator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Deposit(300, peerA, obj, keyA); err != nil {
+		t.Fatal(err)
+	}
+	// C claims it received these blocks from A directly.
+	if _, err := client.Verify(300, peerC, peerA, obj, sealedForM[:1]); !errors.Is(err, ErrRejected) {
+		t.Fatalf("misaddressed blocks passed the audit: %v", err)
+	}
+}
+
+// TestJunkContentRejected: correctly sealed and addressed blocks whose
+// payload is garbage fail the oracle digest check.
+func TestJunkContentRejected(t *testing.T) {
+	tr, med, obj, _ := fixture(t)
+	const peerA, peerB core.PeerID = 1, 2
+	var keyA [16]byte
+	copy(keyA[:], "key-of-junk-send")
+	junk := [][]byte{[]byte("garbage-0"), []byte("garbage-1")}
+	sealed := sealAll(t, keyA, peerA, peerB, obj, junk)
+
+	client, err := Dial(tr, "mem://mediator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Deposit(400, peerA, obj, keyA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Verify(400, peerB, peerA, obj, sealed); !errors.Is(err, ErrRejected) {
+		t.Fatalf("junk content passed the audit: %v", err)
+	}
+	if med.Flagged(peerA) == 0 {
+		t.Fatal("junk sender not flagged")
+	}
+}
+
+func TestVerifyWithoutDeposit(t *testing.T) {
+	tr, _, obj, blocks := fixture(t)
+	var key [16]byte
+	sealed := sealAll(t, key, 1, 2, obj, blocks)
+	client, err := Dial(tr, "mem://mediator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Verify(500, 2, 1, obj, sealed[:1]); !errors.Is(err, ErrRejected) {
+		t.Fatalf("verify without deposit: %v", err)
+	}
+}
+
+func TestVerifyUnknownObject(t *testing.T) {
+	tr, _, _, _ := fixture(t)
+	client, err := Dial(tr, "mem://mediator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var key [16]byte
+	if err := client.Deposit(600, 1, 999, key); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := Seal(key, 1, 2, 999, 0, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []protocol.Block{{Object: 999, Index: 0, Payload: sealed}}
+	if _, err := client.Verify(600, 2, 1, 999, samples); !errors.Is(err, ErrRejected) {
+		t.Fatalf("unknown object passed: %v", err)
+	}
+}
+
+func TestVerifyEmptySamples(t *testing.T) {
+	tr, _, obj, _ := fixture(t)
+	client, err := Dial(tr, "mem://mediator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var key [16]byte
+	if err := client.Deposit(700, 1, obj, key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Verify(700, 2, 1, obj, nil); !errors.Is(err, ErrRejected) {
+		t.Fatalf("empty samples passed: %v", err)
+	}
+}
+
+func TestMediatorRequiresOracle(t *testing.T) {
+	if _, err := New(transport.NewMem(), "mem://m", nil); err == nil {
+		t.Fatal("mediator without oracle accepted")
+	}
+}
+
+func TestMediatorCloseIdempotent(t *testing.T) {
+	_, med, _, _ := fixture(t)
+	med.Close()
+	med.Close()
+}

@@ -1,0 +1,435 @@
+// Package node implements the live, concurrent peer: the exchange protocol
+// of Section III over a real transport. Each node runs a single-threaded
+// event loop (an actor) fed by one reader goroutine per connection, so all
+// protocol state is race-free by construction while transfers proceed
+// concurrently across the network.
+//
+// Transfers are synchronous block-for-block with per-block validation, as
+// Section III-B prescribes: the receiver checks each block's digest against
+// the manifest (or a trusted digest oracle) and acknowledges it before the
+// sender releases the next one. Exchange rings are negotiated with a
+// probe/accept/commit token and dissolve on the first RingQuit.
+package node
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+	"barter/internal/protocol"
+	"barter/internal/transport"
+)
+
+// ErrNoSource is surfaced to Download waiters when every provider has been
+// exhausted without progress.
+var ErrNoSource = errors.New("node: no provider could serve the object")
+
+// Config configures a live peer.
+type Config struct {
+	// ID is the peer's identity. Addr is the listen address (transport
+	// specific; empty auto-assigns on the in-memory transport, ":0" on
+	// TCP).
+	ID   core.PeerID
+	Addr string
+	// Transport carries the protocol; required.
+	Transport transport.Transport
+	// Lookup resolves a peer id to a dialable address. Required for
+	// exchange rings (the initiator must contact members it has no
+	// connection to). The paper treats lookup as an external service and
+	// so do we.
+	Lookup func(core.PeerID) (string, bool)
+	// Policy is the exchange search policy (default 2-5-way).
+	Policy core.Policy
+	// Share marks the peer as a contributor; a free-rider (Share false)
+	// never serves anyone.
+	Share bool
+	// UploadSlots bounds concurrent uploads (default 4).
+	UploadSlots int
+	// BlockSize is the transfer block size in bytes (default 64 KiB).
+	BlockSize int
+	// TreeDepth prunes attached request trees (default core.DefaultMaxRing).
+	TreeDepth int
+	// TickInterval paces the maintenance timer (default 20ms).
+	TickInterval time.Duration
+	// StallTicks is how many ticks without progress a download waits
+	// before re-issuing its requests (default 25).
+	StallTicks int
+	// MaxRetries bounds consecutive no-progress retry rounds before a
+	// download fails with ErrNoSource (default 4).
+	MaxRetries int
+	// BlockDelay paces uploads: the gap between acknowledging one block
+	// and sending the next. Zero sends immediately. It models the paper's
+	// fixed-rate transfer slots in wall-clock time.
+	BlockDelay time.Duration
+	// TrustedDigests, when set, overrides manifest digests as the block
+	// validation source ("a trustworthy source of information for the
+	// actual valid checksums", Section III-B).
+	TrustedDigests func(catalog.ObjectID) ([][32]byte, bool)
+	// Corrupt makes this node a cheater that serves junk payloads. Used by
+	// tests and the middleman example to exercise the defenses.
+	Corrupt bool
+	// Logf, when set, receives debug lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Transport == nil {
+		return errors.New("node: Transport is required")
+	}
+	if c.Policy == (core.Policy{}) {
+		c.Policy = core.Policy2N
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return err
+	}
+	if c.UploadSlots <= 0 {
+		c.UploadSlots = 4
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 64 << 10
+	}
+	if c.TreeDepth <= 0 {
+		c.TreeDepth = core.DefaultMaxRing
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = 20 * time.Millisecond
+	}
+	if c.StallTicks <= 0 {
+		c.StallTicks = 25
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 4
+	}
+	if c.Lookup == nil {
+		c.Lookup = func(core.PeerID) (string, bool) { return "", false }
+	}
+	return nil
+}
+
+// Stats is a snapshot of a node's counters.
+type Stats struct {
+	BlocksSent         int
+	BlocksReceived     int
+	BlocksRejected     int
+	ExchangeBlocksSent int
+	RingsJoined        int
+	RingsInitiated     int
+	RingsDissolved     int
+	Preemptions        int
+	ObjectsCompleted   int
+	RequestsServed     int
+}
+
+// Node is a live peer. Create with New, stop with Close.
+type Node struct {
+	cfg Config
+	ln  transport.Listener
+
+	events chan func()
+	stop   chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	// Everything below is owned by the event loop.
+	store     map[catalog.ObjectID][]byte
+	digests   map[catalog.ObjectID][][32]byte
+	downloads map[catalog.ObjectID]*download
+	irq       []*irqEntry
+	uploads   map[upKey]*upload
+	conns     map[core.PeerID]*peerConn
+	allConns  []transport.Conn
+	rings     map[uint64]*ringInfo
+	ringSeq   uint64
+	stats     Stats
+}
+
+type upKey struct {
+	to     core.PeerID
+	object catalog.ObjectID
+}
+
+type irqEntry struct {
+	peer    core.PeerID
+	object  catalog.ObjectID
+	tree    *core.Tree
+	serving bool
+}
+
+type download struct {
+	object    catalog.ObjectID
+	blocks    [][]byte
+	digests   [][32]byte
+	have      int
+	total     int
+	providers map[core.PeerID]string
+	waiters   []chan error
+	stalled   int
+	lastHave  int
+	retries   int
+	completed bool
+	senders   map[core.PeerID]bool
+}
+
+type upload struct {
+	to       core.PeerID
+	object   catalog.ObjectID
+	ringID   uint64
+	next     uint32
+	total    uint32
+	inFlight bool
+}
+
+type ringInfo struct {
+	id        uint64
+	members   []protocol.RingMember
+	myIdx     int
+	initiator bool
+	accepts   map[core.PeerID]bool
+	committed bool
+	age       int
+}
+
+type peerConn struct {
+	id      core.PeerID
+	conn    transport.Conn
+	sendQ   chan protocol.Message
+	sharing bool
+}
+
+// New starts a node: it listens, spawns the acceptor and the event loop.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ln, err := cfg.Transport.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: listen: %w", cfg.ID, err)
+	}
+	n := &Node{
+		cfg:       cfg,
+		ln:        ln,
+		events:    make(chan func(), 256),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		store:     make(map[catalog.ObjectID][]byte),
+		digests:   make(map[catalog.ObjectID][][32]byte),
+		downloads: make(map[catalog.ObjectID]*download),
+		uploads:   make(map[upKey]*upload),
+		conns:     make(map[core.PeerID]*peerConn),
+		rings:     make(map[uint64]*ringInfo),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	go n.loop()
+	return n, nil
+}
+
+// Addr returns the dialable listen address.
+func (n *Node) Addr() string { return n.ln.Addr() }
+
+// ID returns the peer id.
+func (n *Node) ID() core.PeerID { return n.cfg.ID }
+
+// Close stops the node and waits for its goroutines.
+func (n *Node) Close() {
+	select {
+	case <-n.stop:
+		return
+	default:
+	}
+	close(n.stop)
+	_ = n.ln.Close()
+	<-n.done
+	n.wg.Wait()
+}
+
+// post schedules fn on the event loop; it is a no-op after Close.
+func (n *Node) post(fn func()) {
+	select {
+	case n.events <- fn:
+	case <-n.stop:
+	}
+}
+
+// call runs fn on the loop and waits for it (for synchronous accessors).
+func (n *Node) call(fn func()) bool {
+	doneCh := make(chan struct{})
+	n.post(func() {
+		fn()
+		close(doneCh)
+	})
+	select {
+	case <-doneCh:
+		return true
+	case <-n.stop:
+		return false
+	}
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf("peer %d: "+format, append([]any{n.cfg.ID}, args...)...)
+	}
+}
+
+// AddObject stores a fully available object (with its block digests).
+func (n *Node) AddObject(obj catalog.ObjectID, data []byte) {
+	blocks := splitBlocks(data, n.cfg.BlockSize)
+	digs := make([][32]byte, len(blocks))
+	for i, b := range blocks {
+		digs[i] = sha256.Sum256(b)
+	}
+	n.call(func() {
+		n.store[obj] = append([]byte(nil), data...)
+		n.digests[obj] = digs
+	})
+}
+
+// Has reports whether the node holds the complete object.
+func (n *Node) Has(obj catalog.ObjectID) bool {
+	var ok bool
+	n.call(func() { _, ok = n.store[obj] })
+	return ok
+}
+
+// Object returns a copy of a completed object's bytes, or nil.
+func (n *Node) Object(obj catalog.ObjectID) []byte {
+	var out []byte
+	n.call(func() {
+		if d, ok := n.store[obj]; ok {
+			out = append([]byte(nil), d...)
+		}
+	})
+	return out
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	var s Stats
+	n.call(func() { s = n.stats })
+	return s
+}
+
+// Download requests an object from the given providers (peer id -> address)
+// and returns a channel that receives nil on completion or an error. The
+// download proceeds in the background; exchanges may accelerate it.
+func (n *Node) Download(obj catalog.ObjectID, providers map[core.PeerID]string) <-chan error {
+	ch := make(chan error, 1)
+	n.post(func() { n.startDownload(obj, providers, ch) })
+	return ch
+}
+
+// WaitFor blocks until the download channel yields or the timeout expires.
+func WaitFor(ch <-chan error, timeout time.Duration) error {
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(timeout):
+		return errors.New("node: download timed out")
+	}
+}
+
+func splitBlocks(data []byte, size int) [][]byte {
+	if len(data) == 0 {
+		return nil
+	}
+	blocks := make([][]byte, 0, (len(data)+size-1)/size)
+	for off := 0; off < len(data); off += size {
+		end := off + size
+		if end > len(data) {
+			end = len(data)
+		}
+		blocks = append(blocks, data[off:end])
+	}
+	return blocks
+}
+
+// --- goroutines -------------------------------------------------------------
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go n.readLoopUnknown(conn)
+	}
+}
+
+// readLoopUnknown serves an inbound connection whose peer is unknown until
+// its Hello arrives.
+func (n *Node) readLoopUnknown(conn transport.Conn) {
+	n.serveConn(conn, 0, false)
+}
+
+// readLoop serves an outbound connection to a known peer.
+func (n *Node) readLoop(conn transport.Conn, expected core.PeerID) {
+	n.serveConn(conn, expected, true)
+}
+
+// serveConn pumps one connection into the event loop.
+func (n *Node) serveConn(conn transport.Conn, peer core.PeerID, known bool) {
+	defer n.wg.Done()
+	defer conn.Close() //nolint:errcheck // teardown
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			if known {
+				p := peer
+				n.post(func() { n.dropConnIf(p, conn) })
+			}
+			return
+		}
+		if hello, ok := msg.(*protocol.Hello); ok {
+			peer, known = hello.Peer, true
+			h := *hello
+			n.post(func() { n.registerConn(h, conn) })
+			continue
+		}
+		if !known {
+			return // protocol violation: first message must be Hello
+		}
+		p, m := peer, msg
+		n.post(func() { n.handle(p, m) })
+	}
+}
+
+// writeLoop drains a connection's send queue.
+func (n *Node) writeLoop(pc *peerConn) {
+	defer n.wg.Done()
+	for {
+		select {
+		case msg := <-pc.sendQ:
+			if err := pc.conn.Send(msg); err != nil {
+				return
+			}
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+func (n *Node) loop() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case fn := <-n.events:
+			fn()
+		case <-ticker.C:
+			n.onTick()
+		case <-n.stop:
+			for _, c := range n.allConns {
+				_ = c.Close()
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,685 @@
+// Package protocol defines the wire format of the live peer implementation:
+// length-prefixed binary frames carrying the request, exchange-ring, block
+// transfer, and mediator messages of Section III.
+//
+// Frame layout: 4-byte big-endian payload length, 1-byte message type, then
+// the payload. All integers are big-endian. Strings and byte slices are
+// 2-byte/4-byte length-prefixed respectively.
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+)
+
+// MaxFrame bounds a frame's payload; larger frames are rejected as corrupt.
+const MaxFrame = 16 << 20
+
+// Type identifies a message on the wire.
+type Type uint8
+
+// Wire message types.
+const (
+	TypeHello Type = iota + 1
+	TypeRequest
+	TypeCancel
+	TypeRingProbe
+	TypeRingAccept
+	TypeRingCommit
+	TypeRingAbort
+	TypeRingQuit
+	TypeManifest
+	TypeBlock
+	TypeBlockAck
+	TypeMedDeposit
+	TypeMedVerify
+	TypeMedKey
+	TypeMedReject
+)
+
+// Message is one decodable wire message.
+type Message interface {
+	// Type returns the wire type tag.
+	Type() Type
+	encode(w *writer)
+	decode(r *reader) error
+}
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("protocol: frame exceeds maximum size")
+	ErrUnknownType   = errors.New("protocol: unknown message type")
+	ErrTruncated     = errors.New("protocol: truncated payload")
+)
+
+// Hello introduces a peer after connecting.
+type Hello struct {
+	Peer    core.PeerID
+	Sharing bool
+}
+
+// Request registers interest in an object and carries the requester's
+// request tree pruned to the protocol depth.
+type Request struct {
+	Object catalog.ObjectID
+	Tree   Tree
+}
+
+// Cancel withdraws a pending request.
+type Cancel struct {
+	Object catalog.ObjectID
+}
+
+// RingMember mirrors core.Member on the wire.
+type RingMember struct {
+	Peer  core.PeerID
+	Gives catalog.ObjectID
+	Addr  string
+}
+
+// RingProbe is the validation token: the initiator asks a prospective
+// member whether it is still willing and able to take its position.
+type RingProbe struct {
+	RingID  uint64
+	Members []RingMember
+}
+
+// RingAccept answers a probe.
+type RingAccept struct {
+	RingID uint64
+	OK     bool
+	Reason string
+}
+
+// RingCommit starts the ring at every member.
+type RingCommit struct {
+	RingID uint64
+}
+
+// RingAbort cancels a probed-but-uncommitted ring.
+type RingAbort struct {
+	RingID uint64
+}
+
+// RingQuit dissolves a running ring (a member completed or is leaving).
+type RingQuit struct {
+	RingID uint64
+}
+
+// Manifest announces an object's block layout and digests so the receiver
+// can validate each block before requesting the next one (Section III-B).
+type Manifest struct {
+	Object  catalog.ObjectID
+	Size    uint64
+	Blocks  uint32
+	Digests [][32]byte
+}
+
+// Block carries one fixed-size block. RingID 0 marks a non-exchange
+// transfer. Origin and Recipient form the control header of the mediated
+// scheme; they travel encrypted when Encrypted is set.
+type Block struct {
+	Object    catalog.ObjectID
+	Index     uint32
+	RingID    uint64
+	Origin    core.PeerID
+	Recipient core.PeerID
+	Encrypted bool
+	Payload   []byte
+}
+
+// BlockAck acknowledges a validated block and grants the sender credit to
+// continue (the synchronous block-for-block window of Section III-B).
+type BlockAck struct {
+	Object catalog.ObjectID
+	Index  uint32
+	OK     bool
+}
+
+// MedDeposit escrows a sender's block-encryption key with the mediator.
+type MedDeposit struct {
+	ExchangeID uint64
+	Sender     core.PeerID
+	Object     catalog.ObjectID
+	Key        [16]byte
+}
+
+// MedVerify asks the mediator to audit sample blocks received from Sender
+// and, if they check out, release the sender's key to the requester.
+type MedVerify struct {
+	ExchangeID uint64
+	Requester  core.PeerID
+	Sender     core.PeerID
+	Object     catalog.ObjectID
+	Samples    []Block
+}
+
+// MedKey releases an escrowed key.
+type MedKey struct {
+	ExchangeID uint64
+	Key        [16]byte
+}
+
+// MedReject reports a failed audit.
+type MedReject struct {
+	ExchangeID uint64
+	Reason     string
+}
+
+// Tree is the wire form of a request tree (core.Tree flattened).
+type Tree struct {
+	Root  core.PeerID
+	Nodes []TreeNode
+}
+
+// TreeNode is one wire tree node; Parent indexes Nodes, -1 for children of
+// the root.
+type TreeNode struct {
+	Peer   core.PeerID
+	Object catalog.ObjectID
+	Parent int32
+}
+
+// FromCoreTree flattens a core.Tree for the wire.
+func FromCoreTree(t *core.Tree) Tree {
+	out := Tree{Root: t.Root}
+	var walk func(n *core.TreeNode, parent int32)
+	walk = func(n *core.TreeNode, parent int32) {
+		out.Nodes = append(out.Nodes, TreeNode{Peer: n.Peer, Object: n.Object, Parent: parent})
+		idx := int32(len(out.Nodes) - 1)
+		for _, c := range n.Children {
+			walk(c, idx)
+		}
+	}
+	for _, c := range t.Children {
+		walk(c, -1)
+	}
+	return out
+}
+
+// ToCoreTree rebuilds the core.Tree. Malformed parent references yield an
+// error rather than a panic.
+func (t Tree) ToCoreTree() (*core.Tree, error) {
+	out := &core.Tree{Root: t.Root}
+	nodes := make([]*core.TreeNode, len(t.Nodes))
+	for i, n := range t.Nodes {
+		nodes[i] = &core.TreeNode{Peer: n.Peer, Object: n.Object}
+	}
+	for i, n := range t.Nodes {
+		switch {
+		case n.Parent == -1:
+			out.Children = append(out.Children, nodes[i])
+		case n.Parent >= 0 && int(n.Parent) < i:
+			nodes[n.Parent].Children = append(nodes[n.Parent].Children, nodes[i])
+		default:
+			return nil, fmt.Errorf("protocol: tree node %d has invalid parent %d", i, n.Parent)
+		}
+	}
+	return out, nil
+}
+
+// Compile-time interface checks.
+var (
+	_ Message = (*Hello)(nil)
+	_ Message = (*Request)(nil)
+	_ Message = (*Cancel)(nil)
+	_ Message = (*RingProbe)(nil)
+	_ Message = (*RingAccept)(nil)
+	_ Message = (*RingCommit)(nil)
+	_ Message = (*RingAbort)(nil)
+	_ Message = (*RingQuit)(nil)
+	_ Message = (*Manifest)(nil)
+	_ Message = (*Block)(nil)
+	_ Message = (*BlockAck)(nil)
+	_ Message = (*MedDeposit)(nil)
+	_ Message = (*MedVerify)(nil)
+	_ Message = (*MedKey)(nil)
+	_ Message = (*MedReject)(nil)
+)
+
+// Type implementations.
+func (*Hello) Type() Type      { return TypeHello }
+func (*Request) Type() Type    { return TypeRequest }
+func (*Cancel) Type() Type     { return TypeCancel }
+func (*RingProbe) Type() Type  { return TypeRingProbe }
+func (*RingAccept) Type() Type { return TypeRingAccept }
+func (*RingCommit) Type() Type { return TypeRingCommit }
+func (*RingAbort) Type() Type  { return TypeRingAbort }
+func (*RingQuit) Type() Type   { return TypeRingQuit }
+func (*Manifest) Type() Type   { return TypeManifest }
+func (*Block) Type() Type      { return TypeBlock }
+func (*BlockAck) Type() Type   { return TypeBlockAck }
+func (*MedDeposit) Type() Type { return TypeMedDeposit }
+func (*MedVerify) Type() Type  { return TypeMedVerify }
+func (*MedKey) Type() Type     { return TypeMedKey }
+func (*MedReject) Type() Type  { return TypeMedReject }
+
+// New returns a zero message of the given wire type.
+func New(t Type) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeRequest:
+		return &Request{}, nil
+	case TypeCancel:
+		return &Cancel{}, nil
+	case TypeRingProbe:
+		return &RingProbe{}, nil
+	case TypeRingAccept:
+		return &RingAccept{}, nil
+	case TypeRingCommit:
+		return &RingCommit{}, nil
+	case TypeRingAbort:
+		return &RingAbort{}, nil
+	case TypeRingQuit:
+		return &RingQuit{}, nil
+	case TypeManifest:
+		return &Manifest{}, nil
+	case TypeBlock:
+		return &Block{}, nil
+	case TypeBlockAck:
+		return &BlockAck{}, nil
+	case TypeMedDeposit:
+		return &MedDeposit{}, nil
+	case TypeMedVerify:
+		return &MedVerify{}, nil
+	case TypeMedKey:
+		return &MedKey{}, nil
+	case TypeMedReject:
+		return &MedReject{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+}
+
+// Encode serializes msg into a self-delimiting frame.
+func Encode(msg Message) ([]byte, error) {
+	w := &writer{}
+	msg.encode(w)
+	payload := w.buf.Bytes()
+	if len(payload)+1 > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	out := make([]byte, 0, 5+len(payload))
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(msg.Type())
+	out = append(out, hdr[:]...)
+	return append(out, payload...), nil
+}
+
+// Decode parses one frame from r (blocking until a full frame arrives).
+func Decode(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:4])
+	if size == 0 || size > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	msg, err := New(Type(hdr[4]))
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, size-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	rd := &reader{buf: payload}
+	if err := msg.decode(rd); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// --- primitive codec -------------------------------------------------------
+
+type writer struct{ buf bytes.Buffer }
+
+func (w *writer) u8(v uint8)   { w.buf.WriteByte(v) }
+func (w *writer) u32(v uint32) { var b [4]byte; binary.BigEndian.PutUint32(b[:], v); w.buf.Write(b[:]) }
+func (w *writer) u64(v uint64) { var b [8]byte; binary.BigEndian.PutUint64(b[:], v); w.buf.Write(b[:]) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) str(s string) {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], uint16(len(s)))
+	w.buf.Write(b[:])
+	w.buf.WriteString(s)
+}
+func (w *writer) bytes(p []byte) { w.u32(uint32(len(p))); w.buf.Write(p) }
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrTruncated
+		return nil
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+func (r *reader) i32() int32 { return int32(r.u32()) }
+func (r *reader) boolean() bool {
+	return r.u8() == 1
+}
+func (r *reader) str() string {
+	b := r.take(2)
+	if b == nil {
+		return ""
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	return string(r.take(n))
+}
+func (r *reader) byteSlice() []byte {
+	n := int(r.u32())
+	if r.err != nil || n > MaxFrame {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// --- per-message codecs -----------------------------------------------------
+
+func (m *Hello) encode(w *writer) {
+	w.i32(int32(m.Peer))
+	w.boolean(m.Sharing)
+}
+func (m *Hello) decode(r *reader) error {
+	m.Peer = core.PeerID(r.i32())
+	m.Sharing = r.boolean()
+	return r.err
+}
+
+func (m *Request) encode(w *writer) {
+	w.i32(int32(m.Object))
+	encodeTree(w, m.Tree)
+}
+func (m *Request) decode(r *reader) error {
+	m.Object = catalog.ObjectID(r.i32())
+	m.Tree = decodeTree(r)
+	return r.err
+}
+
+func (m *Cancel) encode(w *writer) { w.i32(int32(m.Object)) }
+func (m *Cancel) decode(r *reader) error {
+	m.Object = catalog.ObjectID(r.i32())
+	return r.err
+}
+
+func encodeTree(w *writer, t Tree) {
+	w.i32(int32(t.Root))
+	w.u32(uint32(len(t.Nodes)))
+	for _, n := range t.Nodes {
+		w.i32(int32(n.Peer))
+		w.i32(int32(n.Object))
+		w.i32(n.Parent)
+	}
+}
+func decodeTree(r *reader) Tree {
+	t := Tree{Root: core.PeerID(r.i32())}
+	n := int(r.u32())
+	if r.err != nil || n > MaxFrame/12 {
+		r.err = ErrTruncated
+		return t
+	}
+	t.Nodes = make([]TreeNode, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		t.Nodes = append(t.Nodes, TreeNode{
+			Peer:   core.PeerID(r.i32()),
+			Object: catalog.ObjectID(r.i32()),
+			Parent: r.i32(),
+		})
+	}
+	return t
+}
+
+func encodeMembers(w *writer, ms []RingMember) {
+	w.u32(uint32(len(ms)))
+	for _, m := range ms {
+		w.i32(int32(m.Peer))
+		w.i32(int32(m.Gives))
+		w.str(m.Addr)
+	}
+}
+func decodeMembers(r *reader) []RingMember {
+	n := int(r.u32())
+	if r.err != nil || n > 1024 {
+		r.err = ErrTruncated
+		return nil
+	}
+	out := make([]RingMember, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, RingMember{
+			Peer:  core.PeerID(r.i32()),
+			Gives: catalog.ObjectID(r.i32()),
+			Addr:  r.str(),
+		})
+	}
+	return out
+}
+
+func (m *RingProbe) encode(w *writer) {
+	w.u64(m.RingID)
+	encodeMembers(w, m.Members)
+}
+func (m *RingProbe) decode(r *reader) error {
+	m.RingID = r.u64()
+	m.Members = decodeMembers(r)
+	return r.err
+}
+
+func (m *RingAccept) encode(w *writer) {
+	w.u64(m.RingID)
+	w.boolean(m.OK)
+	w.str(m.Reason)
+}
+func (m *RingAccept) decode(r *reader) error {
+	m.RingID = r.u64()
+	m.OK = r.boolean()
+	m.Reason = r.str()
+	return r.err
+}
+
+func (m *RingCommit) encode(w *writer) { w.u64(m.RingID) }
+func (m *RingCommit) decode(r *reader) error {
+	m.RingID = r.u64()
+	return r.err
+}
+
+func (m *RingAbort) encode(w *writer) { w.u64(m.RingID) }
+func (m *RingAbort) decode(r *reader) error {
+	m.RingID = r.u64()
+	return r.err
+}
+
+func (m *RingQuit) encode(w *writer) { w.u64(m.RingID) }
+func (m *RingQuit) decode(r *reader) error {
+	m.RingID = r.u64()
+	return r.err
+}
+
+func (m *Manifest) encode(w *writer) {
+	w.i32(int32(m.Object))
+	w.u64(m.Size)
+	w.u32(m.Blocks)
+	w.u32(uint32(len(m.Digests)))
+	for _, d := range m.Digests {
+		w.buf.Write(d[:])
+	}
+}
+func (m *Manifest) decode(r *reader) error {
+	m.Object = catalog.ObjectID(r.i32())
+	m.Size = r.u64()
+	m.Blocks = r.u32()
+	n := int(r.u32())
+	if r.err != nil || n > MaxFrame/32 {
+		return ErrTruncated
+	}
+	m.Digests = make([][32]byte, 0, n)
+	for i := 0; i < n; i++ {
+		b := r.take(32)
+		if b == nil {
+			return r.err
+		}
+		var d [32]byte
+		copy(d[:], b)
+		m.Digests = append(m.Digests, d)
+	}
+	return r.err
+}
+
+func (m *Block) encode(w *writer) {
+	w.i32(int32(m.Object))
+	w.u32(m.Index)
+	w.u64(m.RingID)
+	w.i32(int32(m.Origin))
+	w.i32(int32(m.Recipient))
+	w.boolean(m.Encrypted)
+	w.bytes(m.Payload)
+}
+func (m *Block) decode(r *reader) error {
+	m.Object = catalog.ObjectID(r.i32())
+	m.Index = r.u32()
+	m.RingID = r.u64()
+	m.Origin = core.PeerID(r.i32())
+	m.Recipient = core.PeerID(r.i32())
+	m.Encrypted = r.boolean()
+	m.Payload = r.byteSlice()
+	return r.err
+}
+
+func (m *BlockAck) encode(w *writer) {
+	w.i32(int32(m.Object))
+	w.u32(m.Index)
+	w.boolean(m.OK)
+}
+func (m *BlockAck) decode(r *reader) error {
+	m.Object = catalog.ObjectID(r.i32())
+	m.Index = r.u32()
+	m.OK = r.boolean()
+	return r.err
+}
+
+func (m *MedDeposit) encode(w *writer) {
+	w.u64(m.ExchangeID)
+	w.i32(int32(m.Sender))
+	w.i32(int32(m.Object))
+	w.buf.Write(m.Key[:])
+}
+func (m *MedDeposit) decode(r *reader) error {
+	m.ExchangeID = r.u64()
+	m.Sender = core.PeerID(r.i32())
+	m.Object = catalog.ObjectID(r.i32())
+	b := r.take(16)
+	if b == nil {
+		return r.err
+	}
+	copy(m.Key[:], b)
+	return r.err
+}
+
+func (m *MedVerify) encode(w *writer) {
+	w.u64(m.ExchangeID)
+	w.i32(int32(m.Requester))
+	w.i32(int32(m.Sender))
+	w.i32(int32(m.Object))
+	w.u32(uint32(len(m.Samples)))
+	for i := range m.Samples {
+		m.Samples[i].encode(w)
+	}
+}
+func (m *MedVerify) decode(r *reader) error {
+	m.ExchangeID = r.u64()
+	m.Requester = core.PeerID(r.i32())
+	m.Sender = core.PeerID(r.i32())
+	m.Object = catalog.ObjectID(r.i32())
+	n := int(r.u32())
+	if r.err != nil || n > 4096 {
+		return ErrTruncated
+	}
+	m.Samples = make([]Block, n)
+	for i := 0; i < n; i++ {
+		if err := m.Samples[i].decode(r); err != nil {
+			return err
+		}
+	}
+	return r.err
+}
+
+func (m *MedKey) encode(w *writer) {
+	w.u64(m.ExchangeID)
+	w.buf.Write(m.Key[:])
+}
+func (m *MedKey) decode(r *reader) error {
+	m.ExchangeID = r.u64()
+	b := r.take(16)
+	if b == nil {
+		return r.err
+	}
+	copy(m.Key[:], b)
+	return r.err
+}
+
+func (m *MedReject) encode(w *writer) {
+	w.u64(m.ExchangeID)
+	w.str(m.Reason)
+}
+func (m *MedReject) decode(r *reader) error {
+	m.ExchangeID = r.u64()
+	m.Reason = r.str()
+	return r.err
+}

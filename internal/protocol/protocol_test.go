@@ -1,0 +1,259 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+)
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	frame, err := Encode(msg)
+	if err != nil {
+		t.Fatalf("Encode(%T): %v", msg, err)
+	}
+	got, err := Decode(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("Decode(%T): %v", msg, err)
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	msgs := []Message{
+		&Hello{Peer: 7, Sharing: true},
+		&Request{Object: 42, Tree: Tree{Root: 7, Nodes: []TreeNode{
+			{Peer: 8, Object: 9, Parent: -1},
+			{Peer: 10, Object: 11, Parent: 0},
+		}}},
+		&Cancel{Object: 3},
+		&RingProbe{RingID: 99, Members: []RingMember{
+			{Peer: 1, Gives: 2, Addr: "mem://a"},
+			{Peer: 3, Gives: 4, Addr: "mem://b"},
+		}},
+		&RingAccept{RingID: 99, OK: true, Reason: ""},
+		&RingAccept{RingID: 100, OK: false, Reason: "no capacity"},
+		&RingCommit{RingID: 99},
+		&RingAbort{RingID: 99},
+		&RingQuit{RingID: 99},
+		&Manifest{Object: 5, Size: 1 << 20, Blocks: 4, Digests: [][32]byte{{1, 2}, {3, 4}}},
+		&Block{Object: 5, Index: 2, RingID: 7, Origin: 1, Recipient: 2, Encrypted: true, Payload: []byte("hello world")},
+		&BlockAck{Object: 5, Index: 2, OK: true},
+		&MedDeposit{ExchangeID: 8, Sender: 1, Object: 5, Key: [16]byte{9, 9}},
+		&MedVerify{ExchangeID: 8, Requester: 2, Sender: 1, Object: 5, Samples: []Block{
+			{Object: 5, Index: 0, Payload: []byte("x")},
+		}},
+		&MedKey{ExchangeID: 8, Key: [16]byte{9, 9}},
+		&MedReject{ExchangeID: 8, Reason: "origin mismatch"},
+	}
+	for _, msg := range msgs {
+		got := roundTrip(t, msg)
+		if !reflect.DeepEqual(msg, got) {
+			t.Fatalf("%T round trip:\n sent %+v\n got  %+v", msg, msg, got)
+		}
+	}
+}
+
+func TestRoundTripEmptyPayloads(t *testing.T) {
+	got := roundTrip(t, &Block{Payload: []byte{}})
+	blk, ok := got.(*Block)
+	if !ok || len(blk.Payload) != 0 {
+		t.Fatalf("empty block round trip: %+v", got)
+	}
+	tr := roundTrip(t, &Request{Object: 1, Tree: Tree{Root: 2}})
+	if req, ok := tr.(*Request); !ok || len(req.Tree.Nodes) != 0 {
+		t.Fatalf("empty tree round trip: %+v", tr)
+	}
+}
+
+func TestDecodeRejectsUnknownType(t *testing.T) {
+	frame := []byte{0, 0, 0, 1, 0xEE}
+	if _, err := Decode(bytes.NewReader(frame)); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+func TestDecodeRejectsOversizedFrame(t *testing.T) {
+	var hdr [5]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	hdr[4] = byte(TypeHello)
+	if _, err := Decode(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestDecodeTruncatedPayload(t *testing.T) {
+	frame, err := Encode(&Block{Object: 1, Payload: []byte("abcdef")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(frame); cut++ {
+		_, err := Decode(bytes.NewReader(frame[:cut]))
+		if err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(frame))
+		}
+	}
+}
+
+func TestDecodeCorruptInnerLength(t *testing.T) {
+	// A Block whose inner payload length claims more bytes than the frame
+	// holds must fail with ErrTruncated, not panic or over-read.
+	msg := &Block{Object: 1, Payload: []byte("abc")}
+	frame, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Payload length field is the 4 bytes right before the payload.
+	idx := bytes.Index(frame, []byte("abc")) - 4
+	frame[idx] = 0xFF
+	frame[idx+1] = 0xFF
+	if _, err := Decode(bytes.NewReader(frame)); err == nil {
+		t.Fatal("corrupt inner length accepted")
+	}
+}
+
+func TestDecodeEOF(t *testing.T) {
+	if _, err := Decode(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestMultipleFramesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		frame, err := Encode(&BlockAck{Object: catalog.ObjectID(i), Index: uint32(i), OK: i%2 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+	}
+	for i := 0; i < 10; i++ {
+		msg, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		ack, ok := msg.(*BlockAck)
+		if !ok || ack.Object != catalog.ObjectID(i) {
+			t.Fatalf("frame %d decoded to %+v", i, msg)
+		}
+	}
+}
+
+func TestTreeConversionRoundTrip(t *testing.T) {
+	ct := &core.Tree{Root: 1}
+	b := &core.TreeNode{Peer: 2, Object: 20}
+	c := &core.TreeNode{Peer: 3, Object: 30}
+	d := &core.TreeNode{Peer: 4, Object: 40}
+	b.Children = []*core.TreeNode{c}
+	ct.Children = []*core.TreeNode{b, d}
+
+	wire := FromCoreTree(ct)
+	back, err := wire.ToCoreTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Root != 1 || len(back.Children) != 2 {
+		t.Fatalf("rebuilt tree wrong: %+v", back)
+	}
+	if back.Children[0].Peer != 2 || back.Children[0].Children[0].Peer != 3 || back.Children[1].Peer != 4 {
+		t.Fatalf("rebuilt structure wrong:\n%s", back)
+	}
+	if back.Size() != ct.Size() || back.Depth() != ct.Depth() {
+		t.Fatal("size/depth changed in conversion")
+	}
+}
+
+func TestToCoreTreeRejectsBadParent(t *testing.T) {
+	bad := Tree{Root: 1, Nodes: []TreeNode{
+		{Peer: 2, Object: 20, Parent: 5}, // forward/invalid reference
+	}}
+	if _, err := bad.ToCoreTree(); err == nil {
+		t.Fatal("invalid parent accepted")
+	}
+	selfRef := Tree{Root: 1, Nodes: []TreeNode{
+		{Peer: 2, Object: 20, Parent: 0}, // references itself
+	}}
+	if _, err := selfRef.ToCoreTree(); err == nil {
+		t.Fatal("self-referencing parent accepted")
+	}
+}
+
+// TestPropertyBlockRoundTrip fuzzes Block payload/field combinations.
+func TestPropertyBlockRoundTrip(t *testing.T) {
+	f := func(obj int32, idx uint32, ring uint64, origin, rcpt int32, enc bool, payload []byte) bool {
+		in := &Block{
+			Object:    catalog.ObjectID(obj),
+			Index:     idx,
+			RingID:    ring,
+			Origin:    core.PeerID(origin),
+			Recipient: core.PeerID(rcpt),
+			Encrypted: enc,
+			Payload:   payload,
+		}
+		frame, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(bytes.NewReader(frame))
+		if err != nil {
+			return false
+		}
+		got, ok := out.(*Block)
+		if !ok {
+			return false
+		}
+		if len(payload) == 0 {
+			return len(got.Payload) == 0
+		}
+		return reflect.DeepEqual(in, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDecodeNeverPanics feeds random bytes to the decoder.
+func TestPropertyDecodeNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("decode panicked: %v", r)
+			}
+		}()
+		_, _ = Decode(bytes.NewReader(raw)) //nolint:errcheck // errors expected on garbage
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeBlock(b *testing.B) {
+	msg := &Block{Object: 1, Index: 2, Payload: make([]byte, 4096)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBlock(b *testing.B) {
+	frame, err := Encode(&Block{Object: 1, Index: 2, Payload: make([]byte, 4096)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(bytes.NewReader(frame)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

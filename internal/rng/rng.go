@@ -1,0 +1,240 @@
+// Package rng provides the deterministic pseudo-random number generator and
+// the sampling distributions used by the simulation study.
+//
+// The simulator does not use math/rand: reproducibility across Go versions is
+// a requirement (math/rand's algorithms and helper implementations are not
+// covered by the compatibility promise), and a dedicated splitmix64 stream
+// keeps every run byte-for-byte reproducible from its seed.
+package rng
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0; prefer New to make seeding explicit.
+//
+// RNG is not safe for concurrent use. The simulator is single-threaded by
+// design; concurrent consumers must each own a stream (see Split).
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives an independent stream from r, keyed by label. Using distinct
+// labels for distinct subsystems keeps their random sequences decoupled, so
+// adding a draw in one subsystem does not perturb another.
+func (r *RNG) Split(label uint64) *RNG {
+	// Mix the label through one splitmix64 round so adjacent labels produce
+	// unrelated states.
+	z := r.state + 0x9e3779b97f4a7c15*(label+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &RNG{state: z ^ (z >> 31)}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a pseudo-random number in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0, matching
+// math/rand's contract.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for an unbiased bounded draw.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		threshold := (-un) % un
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	hiPart := t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + hiPart + t>>32
+	return hi, lo
+}
+
+// IntRange returns a pseudo-random int in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function (Fisher-Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// PowerLaw samples ranks 1..n with probability proportional to rank^-f.
+//
+// This is the popularity model of the paper (after Schlosser, Condie &
+// Kamvar, "Simulating a P2P file-sharing network"): the popularity of the
+// item of rank i is p(i) = i^-f / sum_j j^-f. With f = 0 the distribution is
+// uniform; with f = 1 it is zipf-like.
+type PowerLaw struct {
+	cdf []float64 // cdf[i] = P(rank <= i+1)
+	n   int
+	f   float64
+}
+
+// NewPowerLaw builds a sampler over ranks 1..n with exponent f. It panics if
+// n <= 0 or f < 0 (the model only uses f in [0, 1], larger values are legal).
+func NewPowerLaw(n int, f float64) *PowerLaw {
+	if n <= 0 {
+		panic("rng: PowerLaw with non-positive n")
+	}
+	if f < 0 {
+		panic("rng: PowerLaw with negative exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += math.Pow(float64(i), -f)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &PowerLaw{cdf: cdf, n: n, f: f}
+}
+
+// N returns the number of ranks.
+func (p *PowerLaw) N() int { return p.n }
+
+// F returns the exponent.
+func (p *PowerLaw) F() float64 { return p.f }
+
+// Prob returns the probability of rank i (1-based).
+func (p *PowerLaw) Prob(i int) float64 {
+	if i < 1 || i > p.n {
+		return 0
+	}
+	if i == 1 {
+		return p.cdf[0]
+	}
+	return p.cdf[i-1] - p.cdf[i-2]
+}
+
+// Rank draws a rank in [1, n] using r.
+func (p *PowerLaw) Rank(r *RNG) int {
+	u := r.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, p.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Weighted samples indices 0..len(weights)-1 with probability proportional
+// to the (non-negative) weights. It is used for each peer's local category
+// preference distribution, which the paper assigns uniformly random weights
+// independent of global popularity.
+type Weighted struct {
+	cdf []float64
+}
+
+// NewWeighted builds a sampler from weights. It panics if weights is empty,
+// contains a negative value, or sums to zero.
+func NewWeighted(weights []float64) *Weighted {
+	if len(weights) == 0 {
+		panic("rng: Weighted with no weights")
+	}
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("rng: Weighted with negative weight")
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum == 0 {
+		panic("rng: Weighted with zero total weight")
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[len(cdf)-1] = 1
+	return &Weighted{cdf: cdf}
+}
+
+// Index draws an index using r.
+func (w *Weighted) Index(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(w.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

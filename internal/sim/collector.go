@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"barter/internal/metrics"
+)
+
+// TypeNonExchange and friends label session classes in results, matching the
+// paper's figure legends.
+const (
+	TypeNonExchange = "non-exchange"
+	TypePairwise    = "pairwise"
+)
+
+// TypeLabel names a session class from its ring size (1 = non-exchange).
+func TypeLabel(ringSize int) string {
+	switch ringSize {
+	case 1:
+		return TypeNonExchange
+	case 2:
+		return TypePairwise
+	default:
+		return fmt.Sprintf("%d-way", ringSize)
+	}
+}
+
+// Result aggregates everything one run measures. All times are minutes of
+// virtual time, all volumes kilobytes or megabytes as labeled.
+type Result struct {
+	// Policy is the exchange policy label of the run.
+	Policy string
+	// SimulatedSeconds is the virtual horizon; Events the events executed.
+	SimulatedSeconds float64
+	Events           uint64
+
+	// CompletedSharing/NonSharing count completed downloads per class in
+	// the measurement window.
+	CompletedSharing    int
+	CompletedNonSharing int
+
+	// DownloadTimeMin holds per-class download-time samples (minutes).
+	DownloadTimeSharing    *metrics.Sample
+	DownloadTimeNonSharing *metrics.Sample
+
+	// SessionVolumeKB samples kilobytes delivered per session, keyed by
+	// session class (Figure 7).
+	SessionVolumeKB *metrics.Grouped
+	// WaitingTimeMin samples request-to-transfer-start waits in minutes,
+	// keyed by session class (Figure 8).
+	WaitingTimeMin *metrics.Grouped
+
+	// SessionCount counts finished sessions per class; ExchangeFraction is
+	// the fraction of them that were exchanges (Figure 5).
+	SessionCount     map[string]int
+	ExchangeFraction float64
+
+	// VolumePerSharingPeerMB / NonSharing are mean megabytes received per
+	// peer of each class during the measurement window (Figure 10).
+	VolumePerSharingPeerMB    float64
+	VolumePerNonSharingPeerMB float64
+
+	// RingsStarted counts exchange rings by size; RingAttempts and
+	// RingValidationFailures expose search/validation dynamics, with
+	// RingFailReasons breaking failures down by the first failed check.
+	RingsStarted           map[int]int
+	RingAttempts           int
+	RingValidationFailures int
+	RingFailReasons        map[string]int
+
+	// Preemptions counts non-exchange uploads reclaimed for exchanges.
+	Preemptions int
+	// IRQRejected counts requests dropped at full queues.
+	IRQRejected int
+	// LookupFailures counts request attempts that found no holder.
+	LookupFailures int
+}
+
+// MeanDownloadMin returns the mean download time in minutes for the class,
+// or NaN if the class completed nothing.
+func (r *Result) MeanDownloadMin(sharing bool) float64 {
+	if sharing {
+		return r.DownloadTimeSharing.Mean()
+	}
+	return r.DownloadTimeNonSharing.Mean()
+}
+
+// MeanDownloadMinAll returns the mean download time in minutes over both
+// classes combined (the paper's single "no exchange" line), or NaN if the
+// run completed nothing.
+func (r *Result) MeanDownloadMinAll() float64 {
+	n := r.DownloadTimeSharing.N() + r.DownloadTimeNonSharing.N()
+	if n == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	if r.DownloadTimeSharing.N() > 0 {
+		sum += r.DownloadTimeSharing.Mean() * float64(r.DownloadTimeSharing.N())
+	}
+	if r.DownloadTimeNonSharing.N() > 0 {
+		sum += r.DownloadTimeNonSharing.Mean() * float64(r.DownloadTimeNonSharing.N())
+	}
+	return sum / float64(n)
+}
+
+// SpeedupSharingVsNonSharing returns the ratio of non-sharing to sharing
+// mean download time (>1 means sharers are faster), or NaN when undefined.
+func (r *Result) SpeedupSharingVsNonSharing() float64 {
+	s, n := r.MeanDownloadMin(true), r.MeanDownloadMin(false)
+	if math.IsNaN(s) || math.IsNaN(n) || s == 0 {
+		return math.NaN()
+	}
+	return n / s
+}
+
+// Summary renders a human-readable digest of the run.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy=%s horizon=%.0fs events=%d\n", r.Policy, r.SimulatedSeconds, r.Events)
+	fmt.Fprintf(&b, "downloads: sharing %d (mean %.1f min), non-sharing %d (mean %.1f min), speedup %.2fx\n",
+		r.CompletedSharing, r.MeanDownloadMin(true),
+		r.CompletedNonSharing, r.MeanDownloadMin(false),
+		r.SpeedupSharingVsNonSharing())
+	fmt.Fprintf(&b, "sessions:")
+	keys := make([]string, 0, len(r.SessionCount))
+	for k := range r.SessionCount {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, r.SessionCount[k])
+	}
+	fmt.Fprintf(&b, " (exchange fraction %.2f)\n", r.ExchangeFraction)
+	fmt.Fprintf(&b, "volume/peer: sharing %.0f MB, non-sharing %.0f MB\n",
+		r.VolumePerSharingPeerMB, r.VolumePerNonSharingPeerMB)
+	return b.String()
+}
+
+// collector accumulates run metrics, honoring the warm-up window.
+type collector struct {
+	warmupAt float64
+
+	dtSharing metrics.Sample
+	dtNon     metrics.Sample
+	volume    *metrics.Grouped
+	waiting   *metrics.Grouped
+
+	sessionCount map[string]int
+	exchSessions int
+	allSessions  int
+
+	recvSharingKbits float64
+	recvNonKbits     float64
+
+	ringsStarted map[int]int
+	ringAttempts int
+	ringFailures int
+	failReasons  map[string]int
+	preemptions  int
+	irqRejected  int
+	lookupFails  int
+}
+
+func newCollector(warmupAt float64) *collector {
+	return &collector{
+		warmupAt:     warmupAt,
+		volume:       metrics.NewGrouped(),
+		waiting:      metrics.NewGrouped(),
+		sessionCount: make(map[string]int),
+		ringsStarted: make(map[int]int),
+		failReasons:  make(map[string]int),
+	}
+}
+
+func (c *collector) inWindow(now float64) bool { return now >= c.warmupAt }
+
+func (c *collector) downloadDone(now float64, sharing bool, minutes float64) {
+	if !c.inWindow(now) {
+		return
+	}
+	if sharing {
+		c.dtSharing.Add(minutes)
+	} else {
+		c.dtNon.Add(minutes)
+	}
+}
+
+func (c *collector) blockReceived(now float64, sharing bool, kbits float64) {
+	if !c.inWindow(now) {
+		return
+	}
+	if sharing {
+		c.recvSharingKbits += kbits
+	} else {
+		c.recvNonKbits += kbits
+	}
+}
+
+// sessionDone records a finished (or finalized-at-horizon) session.
+func (c *collector) sessionDone(now float64, s *session) {
+	if !c.inWindow(now) {
+		return
+	}
+	label := TypeLabel(s.ringSize)
+	c.sessionCount[label]++
+	c.allSessions++
+	if s.ringSize > 1 {
+		c.exchSessions++
+	}
+	c.volume.Add(label, s.sent/8) // kbits -> kB
+	c.waiting.Add(label, (s.startAt-s.dl.requestedAt)/60)
+}
+
+func (c *collector) ringStarted(now float64, size int) {
+	if !c.inWindow(now) {
+		return
+	}
+	c.ringsStarted[size]++
+}
+
+func (c *collector) result(policy string, horizon float64, events uint64, sharingPeers, nonSharingPeers int) *Result {
+	res := &Result{
+		Policy:                 policy,
+		SimulatedSeconds:       horizon,
+		Events:                 events,
+		CompletedSharing:       int(c.dtSharing.N()),
+		CompletedNonSharing:    int(c.dtNon.N()),
+		DownloadTimeSharing:    &c.dtSharing,
+		DownloadTimeNonSharing: &c.dtNon,
+		SessionVolumeKB:        c.volume,
+		WaitingTimeMin:         c.waiting,
+		SessionCount:           c.sessionCount,
+		RingsStarted:           c.ringsStarted,
+		RingAttempts:           c.ringAttempts,
+		RingValidationFailures: c.ringFailures,
+		RingFailReasons:        c.failReasons,
+		Preemptions:            c.preemptions,
+		IRQRejected:            c.irqRejected,
+		LookupFailures:         c.lookupFails,
+	}
+	if c.allSessions > 0 {
+		res.ExchangeFraction = float64(c.exchSessions) / float64(c.allSessions)
+	}
+	if sharingPeers > 0 {
+		res.VolumePerSharingPeerMB = c.recvSharingKbits / float64(sharingPeers) / 8000
+	}
+	if nonSharingPeers > 0 {
+		res.VolumePerNonSharingPeerMB = c.recvNonKbits / float64(nonSharingPeers) / 8000
+	}
+	return res
+}

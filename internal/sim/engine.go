@@ -1,0 +1,839 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+	"barter/internal/eventq"
+	"barter/internal/rng"
+)
+
+// Sim is one simulation run: a deterministic, single-threaded discrete-event
+// simulation of the exchange-based file-sharing system. Build it with New,
+// drive it with Run (or Step/RunUntil for fine-grained control in tests).
+//
+// Exchange priority is enforced the way the paper describes an
+// implementation would: peers search for rings at the paper's trigger points
+// (before transmitting a request, on receipt of a request, and when learning
+// that a neighbor acquired a wanted object), and any newly feasible exchange
+// reclaims a non-exchange upload slot by preemption.
+type Sim struct {
+	cfg   Config
+	q     *eventq.Queue
+	r     *rng.RNG
+	cat   *catalog.Catalog
+	peers []*peerState
+	// holders maps object -> sorted ids of online sharing peers storing it.
+	holders map[catalog.ObjectID][]core.PeerID
+	// wanters maps object -> sorted ids of peers with a pending download for
+	// it, so evictions can scrub stale provider sets.
+	wanters map[catalog.ObjectID][]core.PeerID
+	graph   core.Graph
+	col     *collector
+
+	ulSlots, dlSlots int
+	sharingPeers     int
+	ran              bool
+}
+
+// New constructs a run, places initial content, and schedules the initial
+// request burst. The same Config (including Seed) always produces the same
+// run.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	catRNG := root.Split(1)
+	engRNG := root.Split(2)
+
+	cat, err := catalog.New(cfg.Catalog, catRNG)
+	if err != nil {
+		return nil, fmt.Errorf("sim: build catalog: %w", err)
+	}
+	s := &Sim{
+		cfg:     cfg,
+		q:       eventq.New(),
+		r:       engRNG,
+		cat:     cat,
+		holders: make(map[catalog.ObjectID][]core.PeerID),
+		wanters: make(map[catalog.ObjectID][]core.PeerID),
+		col:     newCollector(cfg.Duration * cfg.WarmupFrac),
+		ulSlots: cfg.UploadSlots(),
+		dlSlots: cfg.DownloadSlots(),
+	}
+	s.graph = core.Graph{
+		Adj:    s.adjacency,
+		Budget: cfg.SearchBudget,
+		Fanout: cfg.SearchFanout,
+	}
+
+	// Population: exactly round(frac*N) free-riders, assigned by random
+	// permutation so peer ids carry no class information.
+	free := freeriderAssignment(engRNG, cfg)
+	s.peers = make([]*peerState, cfg.NumPeers)
+	for i := range s.peers {
+		p := &peerState{
+			id:       core.PeerID(i),
+			sharing:  !free[i],
+			online:   true,
+			interest: cat.NewInterest(engRNG),
+			store:    make(map[catalog.ObjectID]bool),
+			pending:  make(map[catalog.ObjectID]*download),
+			irqIndex: make(map[irqKey]*request),
+			storeCap: engRNG.IntRange(cfg.StorageMinObjects, cfg.StorageMaxObjects),
+		}
+		if !free[i] {
+			s.sharingPeers++
+		}
+		for _, o := range cat.InitialStore(p.interest, p.storeCap, engRNG) {
+			p.store[o] = true
+			if p.sharing {
+				s.addHolder(o, p.id)
+			}
+		}
+		s.peers[i] = p
+	}
+
+	// Initial request burst, staggered over the first minute.
+	for i := range s.peers {
+		id := core.PeerID(i)
+		s.after(engRNG.Float64()*60, func(float64) { s.issueRequests(s.peers[id]) })
+	}
+	s.after(cfg.EvictionInterval, s.evictionSweep)
+	return s, nil
+}
+
+// freeriderAssignment draws which peers share nothing. It must be the first
+// consumer of the engine stream so PeerClasses stays aligned with New.
+func freeriderAssignment(r *rng.RNG, cfg Config) []bool {
+	nFree := int(cfg.FreeriderFrac*float64(cfg.NumPeers) + 0.5)
+	free := make([]bool, cfg.NumPeers)
+	for i, p := range r.Perm(cfg.NumPeers) {
+		if i < nFree {
+			free[p] = true
+		}
+	}
+	return free
+}
+
+// PeerClasses returns, per peer id, whether New(cfg) will make that peer a
+// sharer, without constructing the simulation. External mechanisms that key
+// behavior on class (e.g. the KaZaA cheat model, where exactly the
+// free-riders misreport) use this to stay aligned with the run.
+func PeerClasses(cfg Config) map[core.PeerID]bool {
+	free := freeriderAssignment(rng.New(cfg.Seed).Split(2), cfg)
+	classes := make(map[core.PeerID]bool, cfg.NumPeers)
+	for i, f := range free {
+		classes[core.PeerID(i)] = !f
+	}
+	return classes
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.q.Now() }
+
+// Step fires one event; it reports whether anything remained to fire.
+func (s *Sim) Step() bool { return s.q.Step() }
+
+// RunUntil advances virtual time to horizon.
+func (s *Sim) RunUntil(horizon float64) { s.q.RunUntil(horizon) }
+
+// Run executes the configured horizon and returns the collected result. It
+// must be called at most once.
+func (s *Sim) Run() (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("sim: Run called twice")
+	}
+	s.ran = true
+	s.q.RunUntil(s.cfg.Duration)
+	// Finalize sessions still open at the horizon so long-lived transfers
+	// are represented in the session statistics.
+	for _, p := range s.peers {
+		for _, up := range p.uploads {
+			if !up.closed {
+				s.col.sessionDone(s.q.Now(), up)
+				up.closed = true
+			}
+		}
+	}
+	return s.col.result(s.cfg.Policy.String(), s.q.Now(), s.q.Fired(),
+		s.sharingPeers, s.cfg.NumPeers-s.sharingPeers), nil
+}
+
+// after schedules fn; scheduling with non-negative delay cannot fail, so a
+// failure is a programming error worth crashing on.
+func (s *Sim) after(delay float64, fn func(now float64)) {
+	if _, err := s.q.After(delay, eventq.Func(fn)); err != nil {
+		panic(fmt.Sprintf("sim: internal scheduling error: %v", err))
+	}
+}
+
+// adjacency returns the live, unserved in-edges of a peer for ring searches.
+func (s *Sim) adjacency(pid core.PeerID) []core.Edge {
+	p := s.peers[pid]
+	es := p.adjScratch[:0]
+	for _, e := range p.irq {
+		if e.session != nil {
+			continue
+		}
+		if !p.store[e.object] {
+			continue // evicted since registration; cannot anchor a ring
+		}
+		q := s.peers[e.requester]
+		if !q.online || q.pending[e.object] == nil {
+			continue
+		}
+		es = append(es, core.Edge{Peer: e.requester, Object: e.object})
+	}
+	p.adjScratch = es
+	return es
+}
+
+// --- holder index -----------------------------------------------------
+
+func indexAdd(idx map[catalog.ObjectID][]core.PeerID, o catalog.ObjectID, id core.PeerID) {
+	hs := idx[o]
+	i := sort.Search(len(hs), func(i int) bool { return hs[i] >= id })
+	if i < len(hs) && hs[i] == id {
+		return
+	}
+	hs = append(hs, 0)
+	copy(hs[i+1:], hs[i:])
+	hs[i] = id
+	idx[o] = hs
+}
+
+func indexRemove(idx map[catalog.ObjectID][]core.PeerID, o catalog.ObjectID, id core.PeerID) {
+	hs := idx[o]
+	i := sort.Search(len(hs), func(i int) bool { return hs[i] >= id })
+	if i < len(hs) && hs[i] == id {
+		hs = append(hs[:i], hs[i+1:]...)
+		if len(hs) == 0 {
+			delete(idx, o)
+			return
+		}
+		idx[o] = hs
+	}
+}
+
+func (s *Sim) addHolder(o catalog.ObjectID, id core.PeerID)    { indexAdd(s.holders, o, id) }
+func (s *Sim) removeHolder(o catalog.ObjectID, id core.PeerID) { indexRemove(s.holders, o, id) }
+
+// --- request issue ------------------------------------------------------
+
+// issueRequests tops the peer up to MaxPending outstanding downloads.
+func (s *Sim) issueRequests(p *peerState) {
+	if !p.online {
+		return
+	}
+	for len(p.pending) < s.cfg.MaxPending {
+		if !s.attemptRequest(p) {
+			s.scheduleRetry(p)
+			return
+		}
+	}
+}
+
+// attemptRequest samples one obtainable object (a cache miss with at least
+// one online sharing holder) and starts its download. It reports success.
+func (s *Sim) attemptRequest(p *peerState) bool {
+	const sampleTries = 8
+	excluded := func(o catalog.ObjectID) bool {
+		return p.store[o] || p.pending[o] != nil
+	}
+	for t := 0; t < sampleTries; t++ {
+		obj, ok := s.cat.SampleMiss(p.interest, s.r, excluded, 64)
+		if !ok {
+			return false
+		}
+		var cands []core.PeerID
+		for _, h := range s.holders[obj] {
+			if h != p.id && s.peers[h].online {
+				cands = append(cands, h)
+			}
+		}
+		if len(cands) == 0 {
+			s.col.lookupFails++
+			continue
+		}
+		s.startDownload(p, obj, cands)
+		return true
+	}
+	return false
+}
+
+// scheduleRetry arms a single back-off retry for a peer that currently
+// cannot find anything obtainable.
+func (s *Sim) scheduleRetry(p *peerState) {
+	if p.retryEv.Valid() {
+		s.q.Cancel(p.retryEv)
+	}
+	h, err := s.q.After(s.cfg.RetryInterval, eventq.Func(func(float64) {
+		p.retryEv = eventq.Handle{}
+		s.issueRequests(p)
+	}))
+	if err != nil {
+		panic(fmt.Sprintf("sim: internal scheduling error: %v", err))
+	}
+	p.retryEv = h
+}
+
+// startDownload creates the download, performs the lookup-bounded provider
+// discovery, runs the paper's before-transmission ring search, and registers
+// requests with a subset of providers.
+func (s *Sim) startDownload(p *peerState, obj catalog.ObjectID, cands []core.PeerID) {
+	now := s.q.Now()
+	discovered := s.sampleSubset(cands, s.cfg.LookupMax)
+	dl := &download{
+		object:      obj,
+		requestedAt: now,
+		providers:   make(map[core.PeerID]bool, len(discovered)),
+	}
+	for _, h := range discovered {
+		dl.providers[h] = true
+	}
+	// Pairwise opportunities with peers already queued here: a requester in
+	// p's IRQ that holds obj qualifies even if the lookup missed it.
+	for _, e := range p.irq {
+		q := s.peers[e.requester]
+		if q.sharing && q.online && q.store[obj] {
+			dl.providers[e.requester] = true
+		}
+	}
+	p.addPending(dl)
+	indexAdd(s.wanters, obj, p.id)
+
+	// "Prior to transmission of a request for object o, the peer inspects
+	// the entire Request Tree to see if any peer provides o."
+	s.tryExchange(p, p.wantFor(dl), nil)
+
+	n := s.cfg.RequestFanout
+	if n > len(discovered) {
+		n = len(discovered)
+	}
+	for _, h := range discovered[:n] {
+		s.sendRequest(p, s.peers[h], dl)
+	}
+}
+
+// sampleSubset returns up to k elements drawn without replacement, in
+// deterministic order derived from the engine RNG.
+func (s *Sim) sampleSubset(list []core.PeerID, k int) []core.PeerID {
+	out := append([]core.PeerID(nil), list...)
+	if len(out) <= k {
+		return out
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.r.Intn(len(out)-i)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out[:k]
+}
+
+// sendRequest registers p's request at server and runs the receipt-time
+// incremental ring search over the new edge.
+func (s *Sim) sendRequest(p, server *peerState, dl *download) {
+	if !server.online {
+		return
+	}
+	if server.lookupIRQ(p.id, dl.object) != nil {
+		return // one registered request per (peer, object)
+	}
+	req := &request{requester: p.id, object: dl.object, arrival: s.q.Now()}
+	if server.addIRQ(req, s.cfg.IRQCapacity) == nil {
+		s.col.irqRejected++
+		return
+	}
+	dl.requestedFrom = append(dl.requestedFrom, server.id)
+	// The new requester may directly hold objects the server wants.
+	if p.sharing {
+		for _, obj := range server.pendingOrder {
+			if p.store[obj] {
+				server.pending[obj].providers[p.id] = true
+			}
+		}
+	}
+	// "On receipt of each request, the peer need only inspect the incoming
+	// Request Tree associated with it."
+	s.tryExchange(server, server.wants(), &core.Edge{Peer: p.id, Object: dl.object})
+	s.tryServe(server)
+}
+
+// --- exchange machinery ---------------------------------------------------
+
+// tryExchange searches for a ring rooted at root and starts it if the
+// validation token succeeds. via restricts the search to one new edge (the
+// receipt-time incremental search). It reports whether a ring started.
+func (s *Sim) tryExchange(root *peerState, wants []core.Want, via *core.Edge) bool {
+	if !s.cfg.Policy.SearchesExchanges() || !root.sharing || !root.online {
+		return false
+	}
+	if len(wants) == 0 || len(root.irq) == 0 {
+		return false
+	}
+	var (
+		ring *core.Ring
+		ok   bool
+	)
+	if via != nil {
+		ring, _, _, ok = s.graph.FindRingVia(root.id, *via, wants, s.cfg.Policy)
+	} else {
+		ring, _, _, ok = s.graph.FindRing(root.id, wants, s.cfg.Policy)
+	}
+	if !ok {
+		return false
+	}
+	s.col.ringAttempts++
+	if reason := s.validateRing(ring); reason != "" {
+		s.col.ringFailures++
+		s.col.failReasons[reason]++
+		return false
+	}
+	s.startRing(ring)
+	return true
+}
+
+// findSession returns the open session src->dst carrying object, if any.
+func (s *Sim) findSession(src, dst *peerState, object catalog.ObjectID) *session {
+	for _, up := range src.uploads {
+		if up.dst == dst.id && up.object == object {
+			return up
+		}
+	}
+	return nil
+}
+
+// validateRing is the simulation analogue of circulating the ring-initiation
+// token: every member must still be online, sharing, hold the object it
+// gives, find its successor still wanting that object, and have upload and
+// download capacity (or a preemptible non-exchange upload). It returns ""
+// when the ring is viable, otherwise the name of the first failed check.
+func (s *Sim) validateRing(ring *core.Ring) string {
+	n := ring.Size()
+	for i, m := range ring.Members {
+		pm := s.peers[m.Peer]
+		np := s.peers[ring.Members[(i+1)%n].Peer]
+		switch {
+		case !pm.online:
+			return "member-offline"
+		case !pm.sharing:
+			return "member-not-sharing"
+		case !pm.store[m.Gives]:
+			return "object-gone"
+		case np.pending[m.Gives] == nil:
+			return "successor-lost-interest"
+		}
+		if !pm.hasFreeUploadSlot(s.ulSlots) {
+			if s.cfg.DisablePreemption || pm.preemptibleUpload() == nil {
+				return "no-upload-capacity"
+			}
+		}
+		dup := s.findSession(pm, np, m.Gives)
+		if dup != nil && dup.ringSize > 1 {
+			return "link-already-in-ring"
+		}
+		if !np.hasFreeDownloadSlot(s.dlSlots) && dup == nil {
+			return "no-download-capacity"
+		}
+	}
+	return ""
+}
+
+// startRing replaces any duplicate non-exchange transfers on the ring's
+// links, reclaims upload slots by preemption where needed, and starts the
+// ring's sessions. Validation has already succeeded.
+func (s *Sim) startRing(ring *core.Ring) {
+	now := s.q.Now()
+	n := ring.Size()
+	rs := &ringState{}
+
+	// Replace duplicate non-exchange transfers on ring links ("normal
+	// transfer sessions tend to be canceled and replaced by exchanges").
+	for i, m := range ring.Members {
+		np := s.peers[ring.Members[(i+1)%n].Peer]
+		if dup := s.findSession(s.peers[m.Peer], np, m.Gives); dup != nil && dup.ringSize == 1 {
+			s.terminateSession(dup, false)
+		}
+	}
+	// Reclaim upload slots.
+	for _, m := range ring.Members {
+		pm := s.peers[m.Peer]
+		if !pm.hasFreeUploadSlot(s.ulSlots) {
+			victim := pm.preemptibleUpload()
+			if victim == nil {
+				// A replacement above raced away the preemptible session;
+				// abandon the ring attempt (token failure).
+				s.abortRing(rs)
+				s.col.ringFailures++
+				return
+			}
+			s.col.preemptions++
+			s.terminateSession(victim, false)
+		}
+	}
+	// Create the ring's sessions.
+	for i, m := range ring.Members {
+		src := s.peers[m.Peer]
+		dst := s.peers[ring.Members[(i+1)%n].Peer]
+		entry := src.lookupIRQ(dst.id, m.Gives)
+		if entry == nil {
+			// The ring closes through a provider the root never transmitted
+			// a request to; register the implicit request now (it is served
+			// immediately, bypassing queue capacity).
+			entry = &request{requester: dst.id, object: m.Gives, arrival: now}
+			src.irq = append(src.irq, entry)
+			src.irqIndex[irqKey{requester: dst.id, object: m.Gives}] = entry
+			dst.pending[m.Gives].requestedFrom = append(dst.pending[m.Gives].requestedFrom, src.id)
+		}
+		sess := s.startSession(src, dst, m.Gives, n, rs, entry)
+		rs.sessions = append(rs.sessions, sess)
+	}
+	s.col.ringStarted(now, n)
+	// Serve whoever got displaced capacity back.
+	for _, m := range ring.Members {
+		s.tryServe(s.peers[m.Peer])
+	}
+}
+
+// abortRing terminates any sessions already created for a ring that failed
+// mid-construction.
+func (s *Sim) abortRing(rs *ringState) {
+	rs.dissolved = true
+	for _, sess := range rs.sessions {
+		s.terminateSession(sess, false)
+	}
+}
+
+// --- sessions ------------------------------------------------------------
+
+func (s *Sim) startSession(src, dst *peerState, obj catalog.ObjectID, ringSize int, rs *ringState, entry *request) *session {
+	sess := &session{
+		src:      src.id,
+		dst:      dst.id,
+		object:   obj,
+		ringSize: ringSize,
+		ring:     rs,
+		entry:    entry,
+		dl:       dst.pending[obj],
+		startAt:  s.q.Now(),
+	}
+	entry.session = sess
+	sess.dl.sessions = append(sess.dl.sessions, sess)
+	src.uploads = append(src.uploads, sess)
+	dst.downloads = append(dst.downloads, sess)
+	s.scheduleBlock(sess)
+	return sess
+}
+
+func (s *Sim) scheduleBlock(sess *session) {
+	h, err := s.q.After(s.cfg.BlockKbits/s.cfg.SlotKbps, eventq.Func(func(float64) {
+		s.onBlock(sess)
+	}))
+	if err != nil {
+		panic(fmt.Sprintf("sim: internal scheduling error: %v", err))
+	}
+	sess.blockEv = h
+}
+
+func (s *Sim) onBlock(sess *session) {
+	if sess.closed {
+		return
+	}
+	now := s.q.Now()
+	sess.sent += s.cfg.BlockKbits
+	dst := s.peers[sess.dst]
+	dl := sess.dl
+	dl.receivedKbits += s.cfg.BlockKbits
+	s.col.blockReceived(now, dst.sharing, s.cfg.BlockKbits)
+	if s.cfg.Ranker != nil {
+		s.cfg.Ranker.OnTransfer(sess.src, sess.dst, s.cfg.BlockKbits)
+	}
+	if dl.receivedKbits >= s.cfg.ObjectKbits {
+		s.completeDownload(dst, dl)
+		return
+	}
+	s.scheduleBlock(sess)
+}
+
+// terminateSession closes one transfer; if it belongs to a ring the whole
+// ring dissolves (a ring lives only while every member keeps transferring).
+// reschedule triggers non-exchange service on the freed slot; it is false
+// while a ring is being assembled or torn down en bloc.
+func (s *Sim) terminateSession(sess *session, reschedule bool) {
+	if sess.closed {
+		return
+	}
+	sess.closed = true
+	s.q.Cancel(sess.blockEv)
+	src := s.peers[sess.src]
+	dst := s.peers[sess.dst]
+	src.uploads = removeSession(src.uploads, sess)
+	dst.downloads = removeSession(dst.downloads, sess)
+	sess.dl.sessions = removeSession(sess.dl.sessions, sess)
+	if sess.entry != nil && sess.entry.session == sess {
+		sess.entry.session = nil
+	}
+	s.col.sessionDone(s.q.Now(), sess)
+	if sess.ring != nil && !sess.ring.dissolved {
+		s.dissolveRing(sess.ring, reschedule)
+	}
+	if reschedule {
+		s.tryServe(src)
+	}
+}
+
+func (s *Sim) dissolveRing(rs *ringState, reschedule bool) {
+	if rs.dissolved {
+		return
+	}
+	rs.dissolved = true
+	members := append([]*session(nil), rs.sessions...)
+	for _, sess := range members {
+		s.terminateSession(sess, false)
+	}
+	if reschedule {
+		for _, sess := range members {
+			s.tryServe(s.peers[sess.src])
+		}
+	}
+}
+
+// --- download completion ---------------------------------------------------
+
+func (s *Sim) completeDownload(p *peerState, dl *download) {
+	now := s.q.Now()
+	s.col.downloadDone(now, p.sharing, (now-dl.requestedAt)/60)
+
+	// Ordering matters: clear the pending state and register the new
+	// holding first, so any scheduling triggered by the teardown below sees
+	// a consistent world in which this download is finished.
+	p.removePending(dl.object)
+	indexRemove(s.wanters, dl.object, p.id)
+	p.store[dl.object] = true
+	if p.sharing {
+		s.addHolder(dl.object, p.id)
+	}
+	for _, srv := range dl.requestedFrom {
+		s.peers[srv].dropIRQ(p.id, dl.object)
+	}
+	for _, sess := range append([]*session(nil), dl.sessions...) {
+		s.terminateSession(sess, true)
+	}
+	if p.sharing {
+		s.announceNewHolding(p, dl.object)
+	}
+	s.issueRequests(p)
+}
+
+// announceNewHolding lets servers that p still has live requests with learn
+// that p now holds obj, enabling fresh pairwise exchanges ("each peer
+// regularly examines its incoming request queue" in the paper; here the
+// examination is event-driven).
+func (s *Sim) announceNewHolding(p *peerState, obj catalog.ObjectID) {
+	for _, po := range append([]catalog.ObjectID(nil), p.pendingOrder...) {
+		dl := p.pending[po]
+		if dl == nil {
+			continue
+		}
+		for _, srvID := range append([]core.PeerID(nil), dl.requestedFrom...) {
+			srv := s.peers[srvID]
+			if !srv.online {
+				continue
+			}
+			srvDl := srv.pending[obj]
+			if srvDl == nil {
+				continue
+			}
+			srvDl.providers[p.id] = true
+			s.tryExchange(srv, srv.wantFor(srvDl), &core.Edge{Peer: p.id, Object: po})
+		}
+	}
+}
+
+// --- non-exchange service ---------------------------------------------------
+
+// tryServe grants free upload slots to waiting requests, enforcing the
+// paper's service rule: a non-exchange transfer starts only when no feasible
+// exchange exists ("no other request in the IRQ is both an exchange transfer
+// and satisfies the capacity condition"). Non-exchange order is by the
+// configured ranker, or longest-waiting-first by default.
+func (s *Sim) tryServe(p *peerState) {
+	if !p.online || !p.sharing {
+		return
+	}
+	// Exchanges claim free capacity first.
+	for p.hasFreeUploadSlot(s.ulSlots) {
+		if !s.tryExchange(p, p.wants(), nil) {
+			break
+		}
+	}
+	for p.hasFreeUploadSlot(s.ulSlots) {
+		e := s.pickWaiting(p)
+		if e == nil {
+			return
+		}
+		s.startSession(p, s.peers[e.requester], e.object, 1, nil, e)
+	}
+}
+
+func (s *Sim) pickWaiting(p *peerState) *request {
+	now := s.q.Now()
+	var best *request
+	var bestScore float64
+	for _, e := range p.irq {
+		if e.session != nil {
+			continue
+		}
+		dst := s.peers[e.requester]
+		if !dst.online || dst.pending[e.object] == nil {
+			continue
+		}
+		if !p.store[e.object] {
+			continue // evicted since registration
+		}
+		if !dst.hasFreeDownloadSlot(s.dlSlots) {
+			continue
+		}
+		var score float64
+		if s.cfg.Ranker != nil {
+			score = s.cfg.Ranker.Score(p.id, e.requester, now-e.arrival)
+		} else {
+			score = now - e.arrival
+		}
+		if best == nil || score > bestScore {
+			best, bestScore = e, score
+		}
+	}
+	return best
+}
+
+// --- storage management -----------------------------------------------------
+
+// evictionSweep implements the paper's periodic storage pruning: peers over
+// capacity remove random objects, postponing any object used in an ongoing
+// exchange; deleting an object terminates its non-exchange uploads.
+func (s *Sim) evictionSweep(float64) {
+	for _, p := range s.peers {
+		if !p.online || len(p.store) <= p.storeCap {
+			continue
+		}
+		s.evictFrom(p, len(p.store)-p.storeCap)
+	}
+	s.after(s.cfg.EvictionInterval, s.evictionSweep)
+}
+
+func (s *Sim) evictFrom(p *peerState, excess int) {
+	inExchange := make(map[catalog.ObjectID]bool)
+	for _, up := range p.uploads {
+		if up.ringSize > 1 {
+			inExchange[up.object] = true
+		}
+	}
+	cands := make([]catalog.ObjectID, 0, len(p.store))
+	for o := range p.store {
+		if !inExchange[o] {
+			cands = append(cands, o)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	s.r.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if excess > len(cands) {
+		excess = len(cands)
+	}
+	for _, o := range cands[:excess] {
+		delete(p.store, o)
+		if p.sharing {
+			s.removeHolder(o, p.id)
+			// Scrub stale provider knowledge so ring searches stop closing
+			// through a holder that no longer exists.
+			for _, w := range s.wanters[o] {
+				if dl := s.peers[w].pending[o]; dl != nil {
+					delete(dl.providers, p.id)
+				}
+			}
+		}
+		for _, up := range append([]*session(nil), p.uploads...) {
+			if up.object == o && up.ringSize == 1 {
+				s.terminateSession(up, true)
+			}
+		}
+	}
+}
+
+// --- churn / failure injection ----------------------------------------------
+
+// DisconnectPeer takes a peer offline: every transfer it participates in
+// terminates (dissolving its rings), its queued requests are dropped, and
+// its holdings leave the lookup index. Used by failure-injection tests and
+// the departure scenarios of Section III-A ("some peers may have gone
+// offline, or crashed").
+func (s *Sim) DisconnectPeer(id core.PeerID) {
+	p := s.peers[id]
+	if !p.online {
+		return
+	}
+	p.online = false
+	for _, sess := range append([]*session(nil), p.uploads...) {
+		s.terminateSession(sess, true)
+	}
+	for _, sess := range append([]*session(nil), p.downloads...) {
+		s.terminateSession(sess, true)
+	}
+	// Withdraw our registered requests from other peers' queues.
+	for _, obj := range append([]catalog.ObjectID(nil), p.pendingOrder...) {
+		dl := p.pending[obj]
+		for _, srv := range dl.requestedFrom {
+			s.peers[srv].dropIRQ(p.id, obj)
+		}
+		p.removePending(obj)
+		indexRemove(s.wanters, obj, p.id)
+	}
+	// Drop our queue; requesters will be served elsewhere or retry.
+	p.irq = nil
+	p.irqIndex = make(map[irqKey]*request)
+	if p.sharing {
+		for o := range p.store {
+			s.removeHolder(o, p.id)
+		}
+	}
+	if p.retryEv.Valid() {
+		s.q.Cancel(p.retryEv)
+		p.retryEv = eventq.Handle{}
+	}
+}
+
+// RejoinPeer brings a disconnected peer back online with its stored content.
+func (s *Sim) RejoinPeer(id core.PeerID) {
+	p := s.peers[id]
+	if p.online {
+		return
+	}
+	p.online = true
+	if p.sharing {
+		for o := range p.store {
+			s.addHolder(o, p.id)
+		}
+	}
+	s.issueRequests(p)
+}
+
+// PeerIsSharing reports the class of a peer (exported for tests/examples).
+func (s *Sim) PeerIsSharing(id core.PeerID) bool { return s.peers[id].sharing }
+
+// SearchOnce runs one ring search rooted at the given peer under an
+// arbitrary policy without mutating any state. It reports whether a
+// candidate ring was found. Exposed for search-cost benchmarks.
+func (s *Sim) SearchOnce(id core.PeerID, pol core.Policy) bool {
+	p := s.peers[id]
+	if len(p.irq) == 0 || len(p.pending) == 0 {
+		return false
+	}
+	_, _, _, ok := s.graph.FindRing(id, p.wants(), pol)
+	return ok
+}
+
+// NumPeers returns the population size.
+func (s *Sim) NumPeers() int { return len(s.peers) }

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckInvariants verifies the internal consistency of the whole simulation
+// state. It exists for tests: property and integration tests interleave it
+// with Step to catch bookkeeping corruption as soon as it happens.
+func (s *Sim) CheckInvariants() error {
+	for _, p := range s.peers {
+		if err := s.checkPeer(p); err != nil {
+			return fmt.Errorf("peer %d: %w", p.id, err)
+		}
+	}
+	return s.checkHolders()
+}
+
+func (s *Sim) checkPeer(p *peerState) error {
+	if len(p.uploads) > s.ulSlots {
+		return fmt.Errorf("%d uploads exceed %d slots", len(p.uploads), s.ulSlots)
+	}
+	if len(p.downloads) > s.dlSlots {
+		return fmt.Errorf("%d downloads exceed %d slots", len(p.downloads), s.dlSlots)
+	}
+	if len(p.pending) > s.cfg.MaxPending {
+		return fmt.Errorf("%d pending downloads exceed max %d", len(p.pending), s.cfg.MaxPending)
+	}
+	if len(p.pending) != len(p.pendingOrder) {
+		return fmt.Errorf("pending map (%d) and order (%d) diverged", len(p.pending), len(p.pendingOrder))
+	}
+	for _, obj := range p.pendingOrder {
+		dl := p.pending[obj]
+		if dl == nil {
+			return fmt.Errorf("pendingOrder lists %d but map lacks it", obj)
+		}
+		if dl.receivedKbits >= s.cfg.ObjectKbits {
+			return fmt.Errorf("download %d complete (%v kbits) but still pending", obj, dl.receivedKbits)
+		}
+		for _, sess := range dl.sessions {
+			if sess.closed {
+				return fmt.Errorf("download %d lists closed session", obj)
+			}
+			if sess.dst != p.id || sess.object != obj {
+				return fmt.Errorf("download %d lists foreign session %d->%d obj %d",
+					obj, sess.src, sess.dst, sess.object)
+			}
+		}
+	}
+	for _, sess := range p.uploads {
+		if sess.closed {
+			return fmt.Errorf("closed session in uploads")
+		}
+		if sess.src != p.id {
+			return fmt.Errorf("upload session src %d != peer", sess.src)
+		}
+		if !p.store[sess.object] {
+			return fmt.Errorf("uploading object %d not in store", sess.object)
+		}
+		if !p.sharing {
+			return fmt.Errorf("non-sharing peer is uploading")
+		}
+		if sess.entry == nil || sess.entry.session != sess {
+			return fmt.Errorf("upload session not linked to its IRQ entry")
+		}
+		if sess.ringSize > 1 && (sess.ring == nil || sess.ring.dissolved) {
+			return fmt.Errorf("exchange session without live ring")
+		}
+	}
+	for _, sess := range p.downloads {
+		if sess.closed {
+			return fmt.Errorf("closed session in downloads")
+		}
+		if sess.dst != p.id {
+			return fmt.Errorf("download session dst %d != peer", sess.dst)
+		}
+		if p.pending[sess.object] == nil {
+			return fmt.Errorf("download session for non-pending object %d", sess.object)
+		}
+	}
+	if len(p.irqIndex) != len(p.irq) {
+		return fmt.Errorf("irq (%d) and index (%d) diverged", len(p.irq), len(p.irqIndex))
+	}
+	for _, e := range p.irq {
+		got := p.irqIndex[irqKey{requester: e.requester, object: e.object}]
+		if got != e {
+			return fmt.Errorf("irq entry (%d, %d) not indexed", e.requester, e.object)
+		}
+		if e.session != nil && e.session.closed {
+			return fmt.Errorf("irq entry linked to closed session")
+		}
+	}
+	// Implicit ring entries may exceed queue capacity by at most the number
+	// of upload slots.
+	if len(p.irq) > s.cfg.IRQCapacity+s.ulSlots {
+		return fmt.Errorf("irq length %d exceeds capacity %d plus slots", len(p.irq), s.cfg.IRQCapacity)
+	}
+	return nil
+}
+
+func (s *Sim) checkHolders() error {
+	for obj, hs := range s.holders {
+		if !sort.SliceIsSorted(hs, func(i, j int) bool { return hs[i] < hs[j] }) {
+			return fmt.Errorf("holders of %d not sorted", obj)
+		}
+		for _, id := range hs {
+			p := s.peers[id]
+			if !p.sharing {
+				return fmt.Errorf("non-sharing peer %d indexed as holder of %d", id, obj)
+			}
+			if !p.online {
+				return fmt.Errorf("offline peer %d indexed as holder of %d", id, obj)
+			}
+			if !p.store[obj] {
+				return fmt.Errorf("peer %d indexed as holder of %d it does not store", id, obj)
+			}
+		}
+	}
+	for _, p := range s.peers {
+		if !p.sharing || !p.online {
+			continue
+		}
+		for obj := range p.store {
+			hs := s.holders[obj]
+			i := sort.Search(len(hs), func(i int) bool { return hs[i] >= p.id })
+			if i >= len(hs) || hs[i] != p.id {
+				return fmt.Errorf("sharing peer %d stores %d but is not indexed", p.id, obj)
+			}
+		}
+	}
+	return nil
+}

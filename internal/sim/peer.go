@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"barter/internal/catalog"
+	"barter/internal/core"
+	"barter/internal/eventq"
+)
+
+// download tracks one outstanding object download at a requesting peer. It
+// may be fed by several concurrent sessions from different sources (the
+// system supports partial, multi-source transfers).
+type download struct {
+	object        catalog.ObjectID
+	requestedAt   float64
+	receivedKbits float64
+	// providers is the lookup result plus any later-learned holders; it is
+	// the set a ring search may close through.
+	providers map[core.PeerID]bool
+	// requestedFrom lists the servers holding a registered request for this
+	// download, in registration order.
+	requestedFrom []core.PeerID
+	// sessions currently feeding this download.
+	sessions []*session
+}
+
+// request is one incoming-request-queue entry at a serving peer.
+type request struct {
+	requester core.PeerID
+	object    catalog.ObjectID
+	arrival   float64
+	// session is non-nil while this entry is being served by the queue's
+	// owner.
+	session *session
+}
+
+// irqKey identifies an IRQ entry; a peer holds at most one registered
+// request per (requester, object) pair, as in the paper.
+type irqKey struct {
+	requester core.PeerID
+	object    catalog.ObjectID
+}
+
+// session is one active transfer: src uploads object to dst at exactly one
+// slot's rate, one block per event. ringSize 1 marks a non-exchange
+// transfer; ringSize >= 2 marks membership in an exchange ring of that size.
+type session struct {
+	src, dst core.PeerID
+	object   catalog.ObjectID
+	ringSize int
+	ring     *ringState
+	entry    *request  // IRQ entry at src
+	dl       *download // download at dst
+	startAt  float64
+	sent     float64 // kbits delivered so far
+	blockEv  eventq.Handle
+	closed   bool
+}
+
+// ringState ties the sessions of one exchange ring together: when any
+// member stops (completes its download, departs, or loses the object), the
+// whole ring dissolves and the surviving members reschedule.
+type ringState struct {
+	sessions  []*session
+	dissolved bool
+}
+
+// peerState is the full simulator state of one peer.
+type peerState struct {
+	id      core.PeerID
+	sharing bool
+	online  bool
+
+	interest *catalog.Interest
+	store    map[catalog.ObjectID]bool
+	storeCap int
+
+	// pending downloads; pendingOrder keeps deterministic want ordering.
+	pending      map[catalog.ObjectID]*download
+	pendingOrder []catalog.ObjectID
+
+	irq      []*request
+	irqIndex map[irqKey]*request
+
+	uploads   []*session
+	downloads []*session
+
+	// retryEv is the pending lookup-retry event, if any.
+	retryEv eventq.Handle
+	// adjacency scratch reused across ring searches.
+	adjScratch []core.Edge
+}
+
+func (p *peerState) hasFreeUploadSlot(slots int) bool   { return len(p.uploads) < slots }
+func (p *peerState) hasFreeDownloadSlot(slots int) bool { return len(p.downloads) < slots }
+
+// preemptibleUpload returns the most recently started non-exchange upload,
+// or nil. The paper reclaims non-exchange slots "as soon as another exchange
+// becomes possible"; preempting the youngest session sacrifices the least
+// accumulated work.
+func (p *peerState) preemptibleUpload() *session {
+	for i := len(p.uploads) - 1; i >= 0; i-- {
+		if s := p.uploads[i]; s.ringSize == 1 {
+			return s
+		}
+	}
+	return nil
+}
+
+// removeSession deletes s from a session slice, preserving order (slices are
+// short: bounded by slot counts).
+func removeSession(ss []*session, s *session) []*session {
+	for i, v := range ss {
+		if v == s {
+			return append(ss[:i], ss[i+1:]...)
+		}
+	}
+	return ss
+}
+
+// addPending registers a new download.
+func (p *peerState) addPending(dl *download) {
+	p.pending[dl.object] = dl
+	p.pendingOrder = append(p.pendingOrder, dl.object)
+}
+
+// removePending unregisters a download (completed or abandoned).
+func (p *peerState) removePending(obj catalog.ObjectID) {
+	delete(p.pending, obj)
+	for i, o := range p.pendingOrder {
+		if o == obj {
+			p.pendingOrder = append(p.pendingOrder[:i], p.pendingOrder[i+1:]...)
+			return
+		}
+	}
+}
+
+// wants materializes the peer's current wants for a ring search, in
+// deterministic pending order.
+func (p *peerState) wants() []core.Want {
+	out := make([]core.Want, 0, len(p.pendingOrder))
+	for _, obj := range p.pendingOrder {
+		dl := p.pending[obj]
+		out = append(out, core.Want{Object: obj, Providers: dl.providers})
+	}
+	return out
+}
+
+// wantFor materializes a single-want slice for the targeted
+// before-transmission search.
+func (p *peerState) wantFor(dl *download) []core.Want {
+	return []core.Want{{Object: dl.object, Providers: dl.providers}}
+}
+
+// addIRQ appends an entry if capacity allows and no duplicate exists; it
+// returns the entry, or nil if rejected.
+func (p *peerState) addIRQ(req *request, capacity int) *request {
+	k := irqKey{requester: req.requester, object: req.object}
+	if _, dup := p.irqIndex[k]; dup {
+		return nil
+	}
+	if len(p.irq) >= capacity {
+		return nil
+	}
+	p.irq = append(p.irq, req)
+	p.irqIndex[k] = req
+	return req
+}
+
+// dropIRQ removes the entry for (requester, object), if present.
+func (p *peerState) dropIRQ(requester core.PeerID, object catalog.ObjectID) *request {
+	k := irqKey{requester: requester, object: object}
+	req, ok := p.irqIndex[k]
+	if !ok {
+		return nil
+	}
+	delete(p.irqIndex, k)
+	for i, e := range p.irq {
+		if e == req {
+			p.irq = append(p.irq[:i], p.irq[i+1:]...)
+			break
+		}
+	}
+	return req
+}
+
+// lookupIRQ returns the entry for (requester, object), or nil.
+func (p *peerState) lookupIRQ(requester core.PeerID, object catalog.ObjectID) *request {
+	return p.irqIndex[irqKey{requester: requester, object: object}]
+}

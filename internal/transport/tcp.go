@@ -1,0 +1,85 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"sync"
+
+	"barter/internal/protocol"
+)
+
+// TCP is the production transport: protocol frames over TCP connections.
+type TCP struct{}
+
+var _ Transport = TCP{}
+
+// Listen implements Transport; addr is host:port, ":0" auto-assigns.
+func (TCP) Listen(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{nl: nl}, nil
+}
+
+// Dial implements Transport.
+func (TCP) Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(nc), nil
+}
+
+type tcpListener struct {
+	nl net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(nc), nil
+}
+
+func (l *tcpListener) Close() error { return l.nl.Close() }
+func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
+
+type tcpConn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	// sendMu serializes writers; bufio.Writer is flushed per message so a
+	// frame is never interleaved or half-buffered across Sends.
+	sendMu sync.Mutex
+	bw     *bufio.Writer
+}
+
+func newTCPConn(nc net.Conn) *tcpConn {
+	return &tcpConn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+func (c *tcpConn) Send(msg protocol.Message) error {
+	frame, err := protocol.Encode(msg)
+	if err != nil {
+		return err
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if _, err := c.bw.Write(frame); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *tcpConn) Recv() (protocol.Message, error) {
+	return protocol.Decode(c.br)
+}
+
+func (c *tcpConn) Close() error       { return c.nc.Close() }
+func (c *tcpConn) RemoteAddr() string { return c.nc.RemoteAddr().String() }

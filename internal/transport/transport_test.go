@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"barter/internal/protocol"
+)
+
+// exercise runs the shared transport contract against any implementation.
+func exercise(t *testing.T, tr Transport, addr string) {
+	t.Helper()
+
+	l, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close() //nolint:errcheck // test cleanup
+
+	type accepted struct {
+		conn Conn
+		err  error
+	}
+	acceptCh := make(chan accepted, 1)
+	go func() {
+		c, err := l.Accept()
+		acceptCh <- accepted{conn: c, err: err}
+	}()
+
+	client, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close() //nolint:errcheck // test cleanup
+
+	acc := <-acceptCh
+	if acc.err != nil {
+		t.Fatalf("Accept: %v", acc.err)
+	}
+	server := acc.conn
+	defer server.Close() //nolint:errcheck // test cleanup
+
+	// Bidirectional traffic.
+	if err := client.Send(&protocol.Hello{Peer: 1, Sharing: true}); err != nil {
+		t.Fatalf("client Send: %v", err)
+	}
+	msg, err := server.Recv()
+	if err != nil {
+		t.Fatalf("server Recv: %v", err)
+	}
+	hello, ok := msg.(*protocol.Hello)
+	if !ok || hello.Peer != 1 || !hello.Sharing {
+		t.Fatalf("server got %+v", msg)
+	}
+	if err := server.Send(&protocol.BlockAck{Object: 9, Index: 3, OK: true}); err != nil {
+		t.Fatalf("server Send: %v", err)
+	}
+	back, err := client.Recv()
+	if err != nil {
+		t.Fatalf("client Recv: %v", err)
+	}
+	if ack, ok := back.(*protocol.BlockAck); !ok || ack.Object != 9 {
+		t.Fatalf("client got %+v", back)
+	}
+
+	// Ordering under concurrency: many messages from one side arrive in
+	// send order.
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := client.Send(&protocol.BlockAck{Index: uint32(i)}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := server.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if ack := m.(*protocol.BlockAck); ack.Index != uint32(i) {
+			t.Fatalf("out of order: got %d want %d", ack.Index, i)
+		}
+	}
+	wg.Wait()
+
+	// Close tears down Recv.
+	if err := client.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := server.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv after peer close returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not observe peer close")
+	}
+}
+
+func TestMemTransportContract(t *testing.T) {
+	exercise(t, NewMem(), "mem://contract")
+}
+
+func TestTCPTransportContract(t *testing.T) {
+	exercise(t, TCP{}, "127.0.0.1:0")
+}
+
+func TestMemDialUnknownAddress(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Dial("mem://nowhere"); err == nil {
+		t.Fatal("Dial to unknown address succeeded")
+	}
+}
+
+func TestMemDuplicateListen(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Listen("mem://dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Listen("mem://dup"); err == nil {
+		t.Fatal("duplicate Listen succeeded")
+	}
+}
+
+func TestMemAutoAddress(t *testing.T) {
+	m := NewMem()
+	a, err := m.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Addr() == b.Addr() || a.Addr() == "" {
+		t.Fatalf("auto addresses not unique: %q vs %q", a.Addr(), b.Addr())
+	}
+}
+
+func TestMemListenerCloseUnblocksAccept(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("mem://closing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Accept err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept did not unblock on Close")
+	}
+	// Address is released for reuse.
+	if _, err := m.Listen("mem://closing"); err != nil {
+		t.Fatalf("re-Listen after Close: %v", err)
+	}
+}
+
+func TestMemSendAfterCloseFails(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("mem://x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			_ = c.Close()
+		}
+	}()
+	c, err := m.Dial("mem://x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either endpoint closing kills the pair.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := c.Send(&protocol.RingQuit{RingID: 1}); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Send kept succeeding after peer close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMemDrainsQueuedMessagesOnClose(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("mem://drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCh := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			serverCh <- c
+		}
+	}()
+	client, err := m.Dial("mem://drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-serverCh
+	if err := client.Send(&protocol.RingQuit{RingID: 42}); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	msg, err := server.Recv()
+	if err != nil {
+		t.Fatalf("queued message lost on close: %v", err)
+	}
+	if q, ok := msg.(*protocol.RingQuit); !ok || q.RingID != 42 {
+		t.Fatalf("got %+v", msg)
+	}
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	tr := TCP{}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close() //nolint:errcheck // test cleanup
+	got := make(chan []byte, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close() //nolint:errcheck // test cleanup
+		if m, err := c.Recv(); err == nil {
+			got <- m.(*protocol.Block).Payload
+		}
+	}()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck // test cleanup
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := c.Send(&protocol.Block{Object: 1, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if len(p) != len(payload) || p[12345] != payload[12345] {
+			t.Fatal("large payload corrupted")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("large message never arrived")
+	}
+}

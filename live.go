@@ -1,0 +1,52 @@
+package barter
+
+import (
+	"time"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+	"barter/internal/mediator"
+	"barter/internal/node"
+	"barter/internal/transport"
+)
+
+// Live-network API: the concurrent peer implementation of the exchange
+// protocol, the transports it runs over, and the trusted mediator.
+type (
+	// PeerID identifies a peer in both the simulator and the live network.
+	PeerID = core.PeerID
+	// ObjectID identifies an object (file) in the catalog.
+	ObjectID = catalog.ObjectID
+	// Node is a live peer; construct with NewNode.
+	Node = node.Node
+	// NodeConfig configures a live peer.
+	NodeConfig = node.Config
+	// NodeStats snapshots a live peer's counters.
+	NodeStats = node.Stats
+	// Transport is the pluggable byte transport under the live protocol.
+	Transport = transport.Transport
+	// Mediator is the trusted audit-and-escrow service of Section III-B.
+	Mediator = mediator.Mediator
+	// DigestOracle supplies trusted block checksums to a mediator.
+	DigestOracle = mediator.DigestOracle
+)
+
+// NewNode starts a live peer.
+func NewNode(cfg NodeConfig) (*Node, error) { return node.New(cfg) }
+
+// WaitDownload blocks on a Node.Download channel with a timeout.
+func WaitDownload(ch <-chan error, timeout time.Duration) error {
+	return node.WaitFor(ch, timeout)
+}
+
+// NewMemTransport returns an in-process transport for tests, examples, and
+// single-machine demos.
+func NewMemTransport() Transport { return transport.NewMem() }
+
+// NewTCPTransport returns the production TCP transport.
+func NewTCPTransport() Transport { return transport.TCP{} }
+
+// NewMediator starts a trusted mediator on the given transport address.
+func NewMediator(tr Transport, addr string, oracle DigestOracle) (*Mediator, error) {
+	return mediator.New(tr, addr, oracle)
+}
