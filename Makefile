@@ -1,0 +1,34 @@
+# Local targets mirror .github/workflows/ci.yml step for step, so a green
+# `make check` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: build test test-short test-full bench fmt vet check
+
+build:
+	$(GO) build ./...
+
+## test-short: the race-enabled quick suite CI runs on every push.
+test-short:
+	$(GO) test -race -short ./...
+
+## test: the full suite (figure sweeps included), no race detector.
+test:
+	$(GO) test ./...
+
+## test-full: full suite exactly as CI's long job runs it.
+test-full:
+	$(GO) test -count=1 ./...
+
+## bench: one iteration of every benchmark as a smoke pass.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: build fmt vet test-short

@@ -3,6 +3,7 @@ package barter
 import (
 	"barter/internal/core"
 	"barter/internal/experiment"
+	"barter/internal/runner"
 	"barter/internal/sim"
 )
 
@@ -26,6 +27,14 @@ type (
 	ExperimentOptions = experiment.Options
 	// ExperimentReport is an experiment's output tables.
 	ExperimentReport = experiment.Report
+	// SimJob is one grid point for the parallel runner: a configuration
+	// plus an optional label and per-replica finalizer.
+	SimJob = runner.Job
+	// RunnerOptions bounds the worker pool and sets the replication factor
+	// of a grid run.
+	RunnerOptions = runner.Options
+	// RunnerResult holds one job's per-replica simulation results.
+	RunnerResult = runner.Result
 
 	// Tree is a request tree: a peer's partial view of the request graph.
 	Tree = core.Tree
@@ -80,6 +89,20 @@ func QuickConfig() Config { return experiment.QuickBase() }
 
 // NewSimulation constructs a deterministic simulation run.
 func NewSimulation(cfg Config) (*Simulation, error) { return sim.New(cfg) }
+
+// RunGrid executes a grid of independent simulation jobs over a bounded
+// worker pool and returns one result per job in submission order. Every
+// job's effective seed depends only on (its seed, job index, replica index),
+// never on worker count, so results are deterministic at any parallelism;
+// see internal/runner for the full contract.
+//
+// Per-run mutable state (notably a stateful Config.Ranker) must be built in
+// the job's Finalize hook, not set on Config directly — Config is copied by
+// value per replica, and a shared Ranker instance races across concurrent
+// replicas and voids the determinism contract.
+func RunGrid(jobs []SimJob, opts RunnerOptions) ([]RunnerResult, error) {
+	return runner.Run(jobs, opts)
+}
 
 // Experiments returns every paper artifact in paper order: table2, fig4
 // through fig12, and the ablations.

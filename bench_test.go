@@ -1,12 +1,15 @@
 package barter
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"barter/internal/core"
 	"barter/internal/experiment"
 	"barter/internal/metrics"
+	"barter/internal/runner"
 	"barter/internal/sim"
 )
 
@@ -150,6 +153,44 @@ func BenchmarkAblationSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rep := runExperiment(b, "ablation-search")
 		b.ReportMetric(lastY(b, rep.Tables[0], "exchange fraction"), "frac@maxbudget")
+	}
+}
+
+// BenchmarkRunnerSequentialVsParallel runs the same 8-point quick grid at
+// several worker-pool widths. The runner's contract makes the outputs
+// byte-identical, so the sub-benchmark wall times isolate the fan-out
+// speedup (expect roughly linear scaling up to the core count).
+func BenchmarkRunnerSequentialVsParallel(b *testing.B) {
+	makeJobs := func() []runner.Job {
+		var jobs []runner.Job
+		for _, ul := range []float64{80, 60, 40, 20} {
+			for _, pol := range []core.Policy{core.Policy2N, core.PolicyNoExchange} {
+				cfg := experiment.QuickBase()
+				cfg.Seed = 1
+				cfg.UploadKbps = ul
+				cfg.Policy = pol
+				jobs = append(jobs, runner.Job{Config: cfg})
+			}
+		}
+		return jobs
+	}
+	widths := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		widths = append(widths, n)
+	}
+	for _, workers := range widths {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			jobs := makeJobs()
+			for i := 0; i < b.N; i++ {
+				results, err := runner.Run(jobs, runner.Options{Parallel: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != len(jobs) || results[0].Primary() == nil {
+					b.Fatal("incomplete grid results")
+				}
+			}
+		})
 	}
 }
 

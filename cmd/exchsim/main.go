@@ -3,60 +3,84 @@
 // Usage:
 //
 //	exchsim -list
-//	exchsim -experiment fig4 [-quick] [-seed 7] [-v]
+//	exchsim -experiment fig4 [-quick] [-seed 7] [-parallel 8] [-replicas 5] [-v]
 //	exchsim -all [-quick]
 //
 // Output is tab-separated: one column per plotted series, one row per x
-// value, matching the corresponding figure of the paper.
+// value, matching the corresponding figure of the paper. Grid points run in
+// parallel over -parallel workers (default: one per CPU); output is
+// byte-identical at any worker count for the same seed. -replicas N runs
+// every point N times under distinct derived seeds and adds mean ± 95% CI
+// columns to the swept figures.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"barter"
 )
 
+// errUsage signals a flag-parsing failure whose specifics the FlagSet has
+// already printed to stderr, so main need not repeat them.
+var errUsage = errors.New("invalid arguments")
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "exchsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("exchsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		expID   = flag.String("experiment", "", "experiment to run (e.g. fig4)")
-		all     = flag.Bool("all", false, "run every experiment")
-		quick   = flag.Bool("quick", false, "run the scaled-down world (seconds instead of minutes)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		verbose = flag.Bool("v", false, "print per-run progress to stderr")
+		list     = fs.Bool("list", false, "list available experiments")
+		expID    = fs.String("experiment", "", "experiment to run (e.g. fig4)")
+		all      = fs.Bool("all", false, "run every experiment")
+		quick    = fs.Bool("quick", false, "run the scaled-down world (seconds instead of minutes)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		parallel = fs.Int("parallel", 0, "worker pool size for grid points (0 = one per CPU)")
+		replicas = fs.Int("replicas", 1, "replications per grid point (adds mean ± 95% CI columns)")
+		verbose  = fs.Bool("v", false, "print per-run progress to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 
 	if *list {
 		for _, e := range barter.Experiments() {
-			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-20s %s\n", e.ID, e.Title)
 		}
 		return nil
 	}
 
-	opts := barter.ExperimentOptions{Seed: *seed, Quick: *quick}
+	opts := barter.ExperimentOptions{
+		Seed:     *seed,
+		Quick:    *quick,
+		Parallel: *parallel,
+		Replicas: *replicas,
+	}
 	if *verbose {
-		opts.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+		opts.Progress = func(msg string) { fmt.Fprintln(stderr, msg) }
 	}
 
 	switch {
 	case *all:
 		for _, e := range barter.Experiments() {
-			fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "==== %s: %s ====\n", e.ID, e.Title)
 			rep, err := e.Run(opts)
 			if err != nil {
 				return fmt.Errorf("%s: %w", e.ID, err)
 			}
-			fmt.Println(rep.TSV())
+			fmt.Fprintln(stdout, rep.TSV())
 		}
 		return nil
 	case *expID != "":
@@ -68,10 +92,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(rep.TSV())
+		fmt.Fprint(stdout, rep.TSV())
 		return nil
 	default:
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -list, -experiment, or -all")
 	}
 }

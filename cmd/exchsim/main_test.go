@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errb strings.Builder
+	err = run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestListPrintsEveryExperiment(t *testing.T) {
+	out, _, err := runCmd(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table2", "fig4", "fig12", "ablation-search"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("-list output missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestUnknownExperimentErrors(t *testing.T) {
+	_, _, err := runCmd(t, "-experiment", "fig99")
+	if err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("want error naming fig99, got %v", err)
+	}
+}
+
+func TestNoActionErrors(t *testing.T) {
+	_, stderr, err := runCmd(t)
+	if err == nil {
+		t.Fatal("no action did not error")
+	}
+	if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "-experiment") {
+		t.Fatalf("usage not printed to stderr:\n%s", stderr)
+	}
+}
+
+func TestBadFlagErrors(t *testing.T) {
+	_, _, err := runCmd(t, "-no-such-flag")
+	if err == nil {
+		t.Fatal("undefined flag accepted")
+	}
+}
+
+func TestHelpIsNotAnError(t *testing.T) {
+	_, stderr, err := runCmd(t, "-h")
+	if err != nil {
+		t.Fatalf("-h returned error: %v", err)
+	}
+	if !strings.Contains(stderr, "Usage") {
+		t.Fatalf("-h did not print usage:\n%s", stderr)
+	}
+}
+
+func TestTable2Runs(t *testing.T) {
+	out, _, err := runCmd(t, "-experiment", "table2", "-quick", "-parallel", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "number of peers\t30") {
+		t.Fatalf("quick table2 missing peer count:\n%s", out)
+	}
+	seq, _, err := runCmd(t, "-experiment", "table2", "-quick", "-parallel", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != seq {
+		t.Fatalf("table2 diverged across -parallel:\n%s\nvs\n%s", out, seq)
+	}
+}
+
+// TestParallelMatchesSequential is the CLI-level determinism contract:
+// -parallel changes wall time only, never bytes.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick experiment skipped in -short; table2 path covered above")
+	}
+	exp := "ablation-search" // the smallest grid that still fans out
+	seq, _, err := runCmd(t, "-experiment", exp, "-quick", "-parallel", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := runCmd(t, "-experiment", exp, "-quick", "-parallel", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Fatalf("output diverged between -parallel 1 and -parallel 4:\n%s\nvs\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "# Ablation: search budget") {
+		t.Fatalf("unexpected output:\n%s", seq)
+	}
+}
+
+func TestVerboseEmitsProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick experiment skipped in -short")
+	}
+	_, stderr, err := runCmd(t, "-experiment", "ablation-search", "-quick", "-v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "ablation-search") {
+		t.Fatalf("no progress lines on stderr:\n%s", stderr)
+	}
+}

@@ -17,6 +17,15 @@
 //     middleman cheating (Section III-B), exposed through NewNode and
 //     NewMediator.
 //
+// Experiments enumerate their parameter grids declaratively and execute
+// them through RunGrid, a bounded worker pool over independent simulation
+// runs. Its determinism contract: a job's effective seed depends only on
+// (configured seed, job index, replica index), never on worker count or
+// scheduling, so the same seed produces byte-identical tables at any
+// parallelism. RunnerOptions.Replicas reruns every grid point under
+// distinct derived seeds and aggregates swept series to mean ± 95% CI.
+//
 // The examples directory demonstrates all three layers; cmd/exchsim
-// regenerates the paper's figures from the command line.
+// regenerates the paper's figures from the command line (-parallel bounds
+// the pool, -replicas turns on replication).
 package barter

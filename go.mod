@@ -1,0 +1,3 @@
+module barter
+
+go 1.24

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+
 	"barter/internal/core"
 	"barter/internal/credit"
 	"barter/internal/metrics"
@@ -42,20 +44,32 @@ func AblationCredit() *Experiment {
 					return credit.NewKaZaA(func(p core.PeerID) bool { return !classes[p] })
 				}},
 			}
+			var pts []point
 			for _, ul := range uls {
 				for _, m := range mechs {
 					cfg := base(opts)
 					cfg.UploadKbps = ul
 					cfg.Policy = m.policy
-					cfg.Ranker = m.ranker(&cfg)
-					res, err := runCfg(cfg)
-					if err != nil {
-						return nil, err
-					}
-					t.Append(m.name, ul, res.SpeedupSharingVsNonSharing())
-					opts.progress("ablation-credit ul=%g %s: speedup %.2f",
-						ul, m.name, res.SpeedupSharingVsNonSharing())
+					pts = append(pts, point{
+						label: fmt.Sprintf("ablation-credit ul=%g %s", ul, m.name),
+						cfg:   cfg,
+						// The ranker is rebuilt per replica after seed
+						// derivation: the KaZaA cheater set must track each
+						// replica's own free-rider assignment.
+						finalize: func(c sim.Config) sim.Config {
+							c.Ranker = m.ranker(&c)
+							return c
+						},
+						emit: func(rs []*sim.Result) {
+							appendAgg(t, m.name, ul, rs, speedup)
+							opts.progress("ablation-credit ul=%g %s: speedup %.2f",
+								ul, m.name, mean(rs, speedup))
+						},
+					})
 				}
+			}
+			if err := runGrid(opts, pts); err != nil {
+				return nil, err
 			}
 			return &Report{Tables: []*metrics.Table{t}}, nil
 		},
@@ -76,19 +90,25 @@ func AblationSearch() *Experiment {
 			if opts.Quick {
 				budgets = []int{16, 512}
 			}
+			var pts []point
 			for _, budget := range budgets {
 				cfg := base(opts)
 				cfg.UploadKbps = 40
 				cfg.Policy = core.Policy2N
 				cfg.SearchBudget = budget
-				res, err := runCfg(cfg)
-				if err != nil {
-					return nil, err
-				}
-				t.Append("exchange fraction", float64(budget), res.ExchangeFraction)
-				t.Append("speedup", float64(budget), res.SpeedupSharingVsNonSharing())
-				opts.progress("ablation-search budget=%d: fraction %.3f speedup %.2f",
-					budget, res.ExchangeFraction, res.SpeedupSharingVsNonSharing())
+				pts = append(pts, point{
+					label: fmt.Sprintf("ablation-search budget=%d", budget),
+					cfg:   cfg,
+					emit: func(rs []*sim.Result) {
+						appendAgg(t, "exchange fraction", float64(budget), rs, exchFraction)
+						appendAgg(t, "speedup", float64(budget), rs, speedup)
+						opts.progress("ablation-search budget=%d: fraction %.3f speedup %.2f",
+							budget, mean(rs, exchFraction), mean(rs, speedup))
+					},
+				})
+			}
+			if err := runGrid(opts, pts); err != nil {
+				return nil, err
 			}
 			return &Report{Tables: []*metrics.Table{t}}, nil
 		},

@@ -3,6 +3,14 @@
 // DESIGN.md. Each experiment reproduces the corresponding figure's series;
 // absolute values depend on the simulated substrate, but orderings, ratios,
 // and crossovers are expected to match the paper (see EXPERIMENTS.md).
+//
+// Every experiment enumerates its parameter grid declaratively as a slice of
+// points and hands the slice to internal/runner, which fans the independent
+// simulation runs out over a worker pool (Options.Parallel) and optionally
+// replicates each point over several derived seeds (Options.Replicas).
+// Results are recorded in submission order, so the emitted tables are
+// byte-identical at any parallelism; with replication on, swept figures gain
+// mean +/- 95% CI columns.
 package experiment
 
 import (
@@ -13,6 +21,7 @@ import (
 	"barter/internal/catalog"
 	"barter/internal/core"
 	"barter/internal/metrics"
+	"barter/internal/runner"
 	"barter/internal/sim"
 )
 
@@ -23,7 +32,17 @@ type Options struct {
 	// Quick runs the scaled-down world (30 peers, 0.5 MB objects): seconds
 	// instead of minutes of wall time, same shapes. Benchmarks use it.
 	Quick bool
-	// Progress, when non-nil, receives one line per completed run.
+	// Parallel bounds the worker pool running grid points; <= 0 means one
+	// worker per CPU. The emitted tables are identical at any setting.
+	Parallel int
+	// Replicas runs every grid point this many times under distinct derived
+	// seeds (<= 0 means 1) and aggregates swept series to mean +/- 95% CI.
+	// Distributional figures (7, 8) ignore it and run their single point
+	// once: a CDF has no cross-seed mean.
+	Replicas int
+	// Progress, when non-nil, receives one line per completed run (emitted
+	// as runs finish, so ordering varies with Parallel) and one deterministic
+	// per-point summary line once the grid completes.
 	Progress func(msg string)
 }
 
@@ -155,23 +174,83 @@ func figurePolicies() []core.Policy {
 	}
 }
 
-func runCfg(cfg sim.Config) (*sim.Result, error) {
-	s, err := sim.New(cfg)
-	if err != nil {
-		return nil, err
+// point is one declarative grid entry: a labelled configuration plus the
+// callback that records its replicated results into the figure's table.
+type point struct {
+	label    string
+	cfg      sim.Config
+	finalize func(sim.Config) sim.Config
+	emit     func(rs []*sim.Result)
+}
+
+// runGrid executes the points through the parallel runner and then invokes
+// every emit callback in submission order, so tables and the per-point
+// progress lines are reproduced deterministically at any parallelism.
+func runGrid(opts Options, points []point) error {
+	jobs := make([]runner.Job, len(points))
+	for i, p := range points {
+		jobs[i] = runner.Job{Config: p.cfg, Label: p.label, Finalize: p.finalize}
 	}
-	return s.Run()
+	results, err := runner.Run(jobs, runner.Options{
+		Parallel: opts.Parallel,
+		Replicas: opts.Replicas,
+		Progress: opts.Progress,
+	})
+	if err != nil {
+		return err
+	}
+	for i, p := range points {
+		p.emit(results[i].Replicas)
+	}
+	return nil
+}
+
+// Per-replica value extractors for the swept figures.
+func sharingMin(r *sim.Result) float64    { return r.MeanDownloadMin(true) }
+func nonSharingMin(r *sim.Result) float64 { return r.MeanDownloadMin(false) }
+func allMin(r *sim.Result) float64        { return r.MeanDownloadMinAll() }
+func exchFraction(r *sim.Result) float64  { return r.ExchangeFraction }
+func speedup(r *sim.Result) float64       { return r.SpeedupSharingVsNonSharing() }
+
+// vals extracts f over every replica.
+func vals(rs []*sim.Result, f func(*sim.Result) float64) []float64 {
+	ys := make([]float64, len(rs))
+	for i, r := range rs {
+		ys[i] = f(r)
+	}
+	return ys
+}
+
+// mean returns the replica mean of f (the plain value with one replica).
+func mean(rs []*sim.Result, f func(*sim.Result) float64) float64 {
+	m, _ := metrics.MeanCI95(vals(rs, f))
+	return m
+}
+
+// appendAgg appends the replica mean of f under name. With replication on it
+// also appends a "name ±95%" series carrying the confidence half-width; with
+// a single replica the emitted table is exactly the unreplicated one.
+func appendAgg(t *metrics.Table, name string, x float64, rs []*sim.Result, f func(*sim.Result) float64) {
+	ys := vals(rs, f)
+	if len(ys) == 1 {
+		t.Append(name, x, ys[0])
+		return
+	}
+	m, half := metrics.MeanCI95(ys)
+	t.Append(name, x, m)
+	t.Append(name+" ±95%", x, half)
 }
 
 // appendClassSeries adds the "<policy>/sharing" and "<policy>/non-sharing"
-// points for one run, or the single "no exchange" point for the baseline.
-func appendClassSeries(t *metrics.Table, pol core.Policy, x float64, res *sim.Result) {
+// points for one grid point, or the single "no exchange" point for the
+// baseline.
+func appendClassSeries(t *metrics.Table, pol core.Policy, x float64, rs []*sim.Result) {
 	if pol.Kind == core.NoExchange {
-		t.Append("no exchange", x, res.MeanDownloadMinAll())
+		appendAgg(t, "no exchange", x, rs, allMin)
 		return
 	}
-	t.Append(pol.String()+"/sharing", x, res.MeanDownloadMin(true))
-	t.Append(pol.String()+"/non-sharing", x, res.MeanDownloadMin(false))
+	appendAgg(t, pol.String()+"/sharing", x, rs, sharingMin)
+	appendAgg(t, pol.String()+"/non-sharing", x, rs, nonSharingMin)
 }
 
 // All returns every experiment in paper order.
@@ -247,19 +326,25 @@ func Fig4() *Experiment {
 		Description: "Sweeps upload capacity under four policies; reports per-class mean download minutes.",
 		Run: func(opts Options) (*Report, error) {
 			t := &metrics.Table{Title: "Figure 4", XLabel: "upload capacity (kb/s)", YLabel: "mean download time (minutes)"}
+			var pts []point
 			for _, ul := range uploadSweep(opts.Quick) {
 				for _, pol := range figurePolicies() {
 					cfg := base(opts)
 					cfg.UploadKbps = ul
 					cfg.Policy = pol
-					res, err := runCfg(cfg)
-					if err != nil {
-						return nil, err
-					}
-					appendClassSeries(t, pol, ul, res)
-					opts.progress("fig4 ul=%g %s: sharing %.1f non %.1f",
-						ul, pol, res.MeanDownloadMin(true), res.MeanDownloadMin(false))
+					pts = append(pts, point{
+						label: fmt.Sprintf("fig4 ul=%g %s", ul, pol),
+						cfg:   cfg,
+						emit: func(rs []*sim.Result) {
+							appendClassSeries(t, pol, ul, rs)
+							opts.progress("fig4 ul=%g %s: sharing %.1f non %.1f",
+								ul, pol, mean(rs, sharingMin), mean(rs, nonSharingMin))
+						},
+					})
 				}
+			}
+			if err := runGrid(opts, pts); err != nil {
+				return nil, err
 			}
 			return &Report{Tables: []*metrics.Table{t}}, nil
 		},
@@ -275,18 +360,24 @@ func Fig5() *Experiment {
 		Run: func(opts Options) (*Report, error) {
 			t := &metrics.Table{Title: "Figure 5", XLabel: "upload capacity (kb/s)", YLabel: "fraction of sessions"}
 			pols := []core.Policy{core.PolicyPairwise, core.PolicyN2, core.Policy2N}
+			var pts []point
 			for _, ul := range uploadSweep(opts.Quick) {
 				for _, pol := range pols {
 					cfg := base(opts)
 					cfg.UploadKbps = ul
 					cfg.Policy = pol
-					res, err := runCfg(cfg)
-					if err != nil {
-						return nil, err
-					}
-					t.Append(pol.String(), ul, res.ExchangeFraction)
-					opts.progress("fig5 ul=%g %s: fraction %.3f", ul, pol, res.ExchangeFraction)
+					pts = append(pts, point{
+						label: fmt.Sprintf("fig5 ul=%g %s", ul, pol),
+						cfg:   cfg,
+						emit: func(rs []*sim.Result) {
+							appendAgg(t, pol.String(), ul, rs, exchFraction)
+							opts.progress("fig5 ul=%g %s: fraction %.3f", ul, pol, mean(rs, exchFraction))
+						},
+					})
 				}
+			}
+			if err := runGrid(opts, pts); err != nil {
+				return nil, err
 			}
 			return &Report{Tables: []*metrics.Table{t}}, nil
 		},
@@ -305,6 +396,7 @@ func Fig6() *Experiment {
 			if opts.Quick {
 				maxN = 5
 			}
+			var pts []point
 			for n := 1; n <= maxN; n++ {
 				pols := []core.Policy{}
 				switch n {
@@ -321,29 +413,34 @@ func Fig6() *Experiment {
 					cfg := base(opts)
 					cfg.UploadKbps = 40 // the loaded regime, where ring size matters
 					cfg.Policy = pol
-					res, err := runCfg(cfg)
-					if err != nil {
-						return nil, err
-					}
-					// The paper plots both search orders as N-2-way and
-					// 2-N-way series; N=1 and N=2 are shared endpoints.
-					names := [][2]string{{"N-2-way/sharing", "N-2-way/non-sharing"}, {"2-N-way/sharing", "2-N-way/non-sharing"}}
-					var which [][2]string
-					switch pol.Kind {
-					case core.NoExchange, core.PairwiseOnly:
-						which = names
-					case core.LongFirst:
-						which = names[:1]
-					case core.ShortFirst:
-						which = names[1:]
-					}
-					for _, pair := range which {
-						t.Append(pair[0], float64(n), res.MeanDownloadMin(true))
-						t.Append(pair[1], float64(n), res.MeanDownloadMin(false))
-					}
-					opts.progress("fig6 N=%d %s: sharing %.1f non %.1f",
-						n, pol, res.MeanDownloadMin(true), res.MeanDownloadMin(false))
+					pts = append(pts, point{
+						label: fmt.Sprintf("fig6 N=%d %s", n, pol),
+						cfg:   cfg,
+						emit: func(rs []*sim.Result) {
+							// The paper plots both search orders as N-2-way and
+							// 2-N-way series; N=1 and N=2 are shared endpoints.
+							names := [][2]string{{"N-2-way/sharing", "N-2-way/non-sharing"}, {"2-N-way/sharing", "2-N-way/non-sharing"}}
+							var which [][2]string
+							switch pol.Kind {
+							case core.NoExchange, core.PairwiseOnly:
+								which = names
+							case core.LongFirst:
+								which = names[:1]
+							case core.ShortFirst:
+								which = names[1:]
+							}
+							for _, pair := range which {
+								appendAgg(t, pair[0], float64(n), rs, sharingMin)
+								appendAgg(t, pair[1], float64(n), rs, nonSharingMin)
+							}
+							opts.progress("fig6 N=%d %s: sharing %.1f non %.1f",
+								n, pol, mean(rs, sharingMin), mean(rs, nonSharingMin))
+						},
+					})
 				}
+			}
+			if err := runGrid(opts, pts); err != nil {
+				return nil, err
 			}
 			return &Report{Tables: []*metrics.Table{t}}, nil
 		},
@@ -371,15 +468,22 @@ func Fig7() *Experiment {
 		Title:       "CDF of data transferred per session, by traffic type (Figure 7)",
 		Description: "One loaded run under 2-5-way; per-class session volume CDFs.",
 		Run: func(opts Options) (*Report, error) {
+			opts.Replicas = 1 // distributional figure: one run, no aggregation
+			var t *metrics.Table
 			cfg := base(opts)
 			cfg.UploadKbps = 40
 			cfg.Policy = core.Policy2N
-			res, err := runCfg(cfg)
-			if err != nil {
+			pts := []point{{
+				label: "fig7",
+				cfg:   cfg,
+				emit: func(rs []*sim.Result) {
+					t = cdfTable("Figure 7", "amount of data transferred per session (kB)", rs[0].SessionVolumeKB, 25)
+					opts.progress("fig7: %d session classes", len(t.Series))
+				},
+			}}
+			if err := runGrid(opts, pts); err != nil {
 				return nil, err
 			}
-			t := cdfTable("Figure 7", "amount of data transferred per session (kB)", res.SessionVolumeKB, 25)
-			opts.progress("fig7: %d session classes", len(t.Series))
 			return &Report{Tables: []*metrics.Table{t}}, nil
 		},
 	}
@@ -392,15 +496,22 @@ func Fig8() *Experiment {
 		Title:       "CDF of transfer waiting times, by traffic type (Figure 8)",
 		Description: "One loaded run under 2-5-way; per-class request-to-start waiting-time CDFs.",
 		Run: func(opts Options) (*Report, error) {
+			opts.Replicas = 1 // distributional figure: one run, no aggregation
+			var t *metrics.Table
 			cfg := base(opts)
 			cfg.UploadKbps = 40
 			cfg.Policy = core.Policy2N
-			res, err := runCfg(cfg)
-			if err != nil {
+			pts := []point{{
+				label: "fig8",
+				cfg:   cfg,
+				emit: func(rs []*sim.Result) {
+					t = cdfTable("Figure 8", "waiting time (minutes)", rs[0].WaitingTimeMin, 25)
+					opts.progress("fig8: %d session classes", len(t.Series))
+				},
+			}}
+			if err := runGrid(opts, pts); err != nil {
 				return nil, err
 			}
-			t := cdfTable("Figure 8", "waiting time (minutes)", res.WaitingTimeMin, 25)
-			opts.progress("fig8: %d session classes", len(t.Series))
 			return &Report{Tables: []*metrics.Table{t}}, nil
 		},
 	}
@@ -414,6 +525,7 @@ func Fig9() *Experiment {
 		Description: "Sweeps the popularity factor f (categories and objects) under four policies.",
 		Run: func(opts Options) (*Report, error) {
 			t := &metrics.Table{Title: "Figure 9", XLabel: "object popularity factor f", YLabel: "mean download time (minutes)"}
+			var pts []point
 			for _, f := range popularitySweep(opts.Quick) {
 				for _, pol := range figurePolicies() {
 					cfg := base(opts)
@@ -421,14 +533,19 @@ func Fig9() *Experiment {
 					cfg.Catalog.CategoryFactor = f
 					cfg.Catalog.ObjectFactor = f
 					cfg.Policy = pol
-					res, err := runCfg(cfg)
-					if err != nil {
-						return nil, err
-					}
-					appendClassSeries(t, pol, f, res)
-					opts.progress("fig9 f=%g %s: sharing %.1f non %.1f",
-						f, pol, res.MeanDownloadMin(true), res.MeanDownloadMin(false))
+					pts = append(pts, point{
+						label: fmt.Sprintf("fig9 f=%g %s", f, pol),
+						cfg:   cfg,
+						emit: func(rs []*sim.Result) {
+							appendClassSeries(t, pol, f, rs)
+							opts.progress("fig9 f=%g %s: sharing %.1f non %.1f",
+								f, pol, mean(rs, sharingMin), mean(rs, nonSharingMin))
+						},
+					})
 				}
+			}
+			if err := runGrid(opts, pts); err != nil {
+				return nil, err
 			}
 			return &Report{Tables: []*metrics.Table{t}}, nil
 		},
@@ -443,6 +560,12 @@ func Fig10() *Experiment {
 		Description: "Same sweep as Figure 9; reports mean megabytes received per peer of each class.",
 		Run: func(opts Options) (*Report, error) {
 			t := &metrics.Table{Title: "Figure 10", XLabel: "object popularity factor f", YLabel: "transfer volume (MB)"}
+			sharingMB := func(r *sim.Result) float64 { return r.VolumePerSharingPeerMB }
+			nonSharingMB := func(r *sim.Result) float64 { return r.VolumePerNonSharingPeerMB }
+			allMB := func(r *sim.Result) float64 {
+				return (r.VolumePerSharingPeerMB + r.VolumePerNonSharingPeerMB) / 2
+			}
+			var pts []point
 			for _, f := range popularitySweep(opts.Quick) {
 				for _, pol := range figurePolicies() {
 					cfg := base(opts)
@@ -450,20 +573,24 @@ func Fig10() *Experiment {
 					cfg.Catalog.CategoryFactor = f
 					cfg.Catalog.ObjectFactor = f
 					cfg.Policy = pol
-					res, err := runCfg(cfg)
-					if err != nil {
-						return nil, err
-					}
-					if pol.Kind == core.NoExchange {
-						all := (res.VolumePerSharingPeerMB + res.VolumePerNonSharingPeerMB) / 2
-						t.Append("no exchange", f, all)
-					} else {
-						t.Append(pol.String()+"/sharing", f, res.VolumePerSharingPeerMB)
-						t.Append(pol.String()+"/non-sharing", f, res.VolumePerNonSharingPeerMB)
-					}
-					opts.progress("fig10 f=%g %s: sharing %.0f MB non %.0f MB",
-						f, pol, res.VolumePerSharingPeerMB, res.VolumePerNonSharingPeerMB)
+					pts = append(pts, point{
+						label: fmt.Sprintf("fig10 f=%g %s", f, pol),
+						cfg:   cfg,
+						emit: func(rs []*sim.Result) {
+							if pol.Kind == core.NoExchange {
+								appendAgg(t, "no exchange", f, rs, allMB)
+							} else {
+								appendAgg(t, pol.String()+"/sharing", f, rs, sharingMB)
+								appendAgg(t, pol.String()+"/non-sharing", f, rs, nonSharingMB)
+							}
+							opts.progress("fig10 f=%g %s: sharing %.0f MB non %.0f MB",
+								f, pol, mean(rs, sharingMB), mean(rs, nonSharingMB))
+						},
+					})
 				}
+			}
+			if err := runGrid(opts, pts); err != nil {
+				return nil, err
 			}
 			return &Report{Tables: []*metrics.Table{t}}, nil
 		},
@@ -483,6 +610,7 @@ func Fig11() *Experiment {
 			if opts.Quick {
 				pendings = []int{2, 6, 10}
 			}
+			var pts []point
 			for _, pending := range pendings {
 				for _, cats := range []int{2, 4, 8} {
 					cfg := base(opts)
@@ -491,14 +619,19 @@ func Fig11() *Experiment {
 					cfg.Catalog.CategoriesPerPeerMin = cats
 					cfg.Catalog.CategoriesPerPeerMax = cats
 					cfg.Policy = core.Policy2N
-					res, err := runCfg(cfg)
-					if err != nil {
-						return nil, err
-					}
-					t.Append(fmt.Sprintf("cat/peer=%d", cats), float64(pending), res.SpeedupSharingVsNonSharing())
-					opts.progress("fig11 pending=%d cats=%d: speedup %.2f",
-						pending, cats, res.SpeedupSharingVsNonSharing())
+					pts = append(pts, point{
+						label: fmt.Sprintf("fig11 pending=%d cats=%d", pending, cats),
+						cfg:   cfg,
+						emit: func(rs []*sim.Result) {
+							appendAgg(t, fmt.Sprintf("cat/peer=%d", cats), float64(pending), rs, speedup)
+							opts.progress("fig11 pending=%d cats=%d: speedup %.2f",
+								pending, cats, mean(rs, speedup))
+						},
+					})
 				}
+			}
+			if err := runGrid(opts, pts); err != nil {
+				return nil, err
 			}
 			return &Report{Tables: []*metrics.Table{t}}, nil
 		},
@@ -517,20 +650,26 @@ func Fig12() *Experiment {
 			if opts.Quick {
 				fracs = []float64{0.2, 0.5, 0.8}
 			}
+			var pts []point
 			for _, frac := range fracs {
 				for _, pol := range figurePolicies() {
 					cfg := base(opts)
 					cfg.UploadKbps = 40
 					cfg.FreeriderFrac = frac
 					cfg.Policy = pol
-					res, err := runCfg(cfg)
-					if err != nil {
-						return nil, err
-					}
-					appendClassSeries(t, pol, frac, res)
-					opts.progress("fig12 frac=%g %s: sharing %.1f non %.1f",
-						frac, pol, res.MeanDownloadMin(true), res.MeanDownloadMin(false))
+					pts = append(pts, point{
+						label: fmt.Sprintf("fig12 frac=%g %s", frac, pol),
+						cfg:   cfg,
+						emit: func(rs []*sim.Result) {
+							appendClassSeries(t, pol, frac, rs)
+							opts.progress("fig12 frac=%g %s: sharing %.1f non %.1f",
+								frac, pol, mean(rs, sharingMin), mean(rs, nonSharingMin))
+						},
+					})
 				}
+			}
+			if err := runGrid(opts, pts); err != nil {
+				return nil, err
 			}
 			return &Report{Tables: []*metrics.Table{t}}, nil
 		},
@@ -550,24 +689,34 @@ func AblationPreemption() *Experiment {
 			if opts.Quick {
 				uls = []float64{40, 20}
 			}
+			var pts []point
 			for _, ul := range uls {
 				for _, disable := range []bool{false, true} {
 					cfg := base(opts)
 					cfg.UploadKbps = ul
 					cfg.Policy = core.Policy2N
 					cfg.DisablePreemption = disable
-					res, err := runCfg(cfg)
-					if err != nil {
-						return nil, err
-					}
 					name := "with preemption"
 					if disable {
 						name = "without preemption"
 					}
-					t.Append(name, ul, res.SpeedupSharingVsNonSharing())
-					opts.progress("ablation-preemption ul=%g %s: speedup %.2f preemptions %d",
-						ul, name, res.SpeedupSharingVsNonSharing(), res.Preemptions)
+					pts = append(pts, point{
+						label: fmt.Sprintf("ablation-preemption ul=%g %s", ul, name),
+						cfg:   cfg,
+						emit: func(rs []*sim.Result) {
+							appendAgg(t, name, ul, rs, speedup)
+							preemptions := 0
+							for _, r := range rs {
+								preemptions += r.Preemptions
+							}
+							opts.progress("ablation-preemption ul=%g %s: speedup %.2f preemptions %d",
+								ul, name, mean(rs, speedup), preemptions/len(rs))
+						},
+					})
 				}
+			}
+			if err := runGrid(opts, pts); err != nil {
+				return nil, err
 			}
 			return &Report{Tables: []*metrics.Table{t}}, nil
 		},

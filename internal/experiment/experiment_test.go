@@ -1,14 +1,29 @@
 package experiment
 
 import (
+	"fmt"
 	"math"
+	"slices"
 	"strings"
 	"testing"
 
 	"barter/internal/metrics"
+	"barter/internal/sim"
 )
 
 func quickOpts() Options { return Options{Seed: 1, Quick: true} }
+
+// skipShort gates the quick-world figure reproductions out of `go test
+// -short`: each one runs a full sweep grid (seconds apiece, more under
+// -race). Short mode keeps the registry, TSV, grid-machinery, and
+// distributional tests, which exercise the same code paths on one run or
+// none; the full suite and CI's long job run everything.
+func skipShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("figure sweep skipped in -short; covered by the full suite")
+	}
+}
 
 func runExp(t *testing.T, id string) *Report {
 	t.Helper()
@@ -77,6 +92,7 @@ func TestTable2MentionsPaperParameters(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
+	skipShort(t)
 	rep := runExp(t, "fig4")
 	tab := rep.Tables[0]
 	for _, name := range []string{
@@ -103,6 +119,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5FractionRisesWithLoad(t *testing.T) {
+	skipShort(t)
 	rep := runExp(t, "fig5")
 	tab := rep.Tables[0]
 	for _, pol := range []string{"pairwise", "5-2-way", "2-5-way"} {
@@ -121,6 +138,7 @@ func TestFig5FractionRisesWithLoad(t *testing.T) {
 }
 
 func TestFig6RingBenefitShape(t *testing.T) {
+	skipShort(t)
 	rep := runExp(t, "fig6")
 	tab := rep.Tables[0]
 	// Paper shape: allowing rings (N=2) differentiates the classes relative
@@ -178,6 +196,7 @@ func TestFig8WaitingWorseForNonExchange(t *testing.T) {
 }
 
 func TestFig9PopularitySweep(t *testing.T) {
+	skipShort(t)
 	rep := runExp(t, "fig9")
 	tab := rep.Tables[0]
 	sh := seriesY(t, tab, "2-5-way/sharing")
@@ -190,6 +209,7 @@ func TestFig9PopularitySweep(t *testing.T) {
 }
 
 func TestFig10VolumesPositive(t *testing.T) {
+	skipShort(t)
 	rep := runExp(t, "fig10")
 	tab := rep.Tables[0]
 	sh := seriesY(t, tab, "2-5-way/sharing")
@@ -206,6 +226,7 @@ func TestFig10VolumesPositive(t *testing.T) {
 }
 
 func TestFig11SpeedupsPresent(t *testing.T) {
+	skipShort(t)
 	rep := runExp(t, "fig11")
 	tab := rep.Tables[0]
 	for _, name := range []string{"cat/peer=2", "cat/peer=4", "cat/peer=8"} {
@@ -219,6 +240,7 @@ func TestFig11SpeedupsPresent(t *testing.T) {
 }
 
 func TestFig12GapPersistsAcrossFreeriderFractions(t *testing.T) {
+	skipShort(t)
 	rep := runExp(t, "fig12")
 	tab := rep.Tables[0]
 	sh := seriesY(t, tab, "2-5-way/sharing")
@@ -284,10 +306,15 @@ func TestAblationSearchBudget(t *testing.T) {
 }
 
 func TestReportTSV(t *testing.T) {
-	rep := runExp(t, "fig5")
+	tab := &metrics.Table{Title: "Figure X", XLabel: "x", YLabel: "y"}
+	tab.Append("pairwise", 1, 2)
+	tab.Append("pairwise", 2, 3)
+	rep := &Report{Text: "preamble", Tables: []*metrics.Table{tab}}
 	out := rep.TSV()
-	if !strings.Contains(out, "# Figure 5") || !strings.Contains(out, "pairwise") {
-		t.Fatalf("TSV missing content:\n%s", out)
+	for _, want := range []string{"preamble\n", "# Figure X", "pairwise"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("TSV missing %q:\n%s", want, out)
+		}
 	}
 }
 
@@ -297,4 +324,95 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Fatalf("default seed = %d, want 1", o.seed())
 	}
 	o.progress("no sink, must not panic")
+}
+
+// tinyOpts shrink the quick world further so grid-machinery tests stay fast
+// enough for -short -race.
+func tinyCfg(opts Options) sim.Config {
+	cfg := base(opts)
+	cfg.NumPeers = 12
+	cfg.Duration = 5_000
+	cfg.StorageMinObjects = 4
+	cfg.StorageMaxObjects = 8
+	return cfg
+}
+
+// TestGridDeterministicAcrossParallelism is the runner integration contract
+// at the experiment layer: the same grid emits identical tables at any
+// worker count. It runs in short mode as the quick equivalent of the full
+// figure sweeps.
+func TestGridDeterministicAcrossParallelism(t *testing.T) {
+	build := func(parallel int) (string, []string) {
+		tab := &metrics.Table{Title: "grid", XLabel: "ul", YLabel: "frac"}
+		var progress []string
+		opts := Options{Seed: 1, Quick: true, Parallel: parallel}
+		var pts []point
+		for _, ul := range []float64{40, 30, 20} {
+			cfg := tinyCfg(opts)
+			cfg.UploadKbps = ul
+			pts = append(pts, point{
+				label: "grid",
+				cfg:   cfg,
+				emit: func(rs []*sim.Result) {
+					appendAgg(tab, "frac", ul, rs, exchFraction)
+					progress = append(progress, fmt.Sprintf("ul=%g frac=%.4f", ul, mean(rs, exchFraction)))
+				},
+			})
+		}
+		if err := runGrid(opts, pts); err != nil {
+			t.Fatal(err)
+		}
+		return tab.TSV(), progress
+	}
+	seqTSV, seqProg := build(1)
+	parTSV, parProg := build(8)
+	if seqTSV != parTSV {
+		t.Fatalf("tables diverge across parallelism:\n%s\nvs\n%s", seqTSV, parTSV)
+	}
+	if !slices.Equal(seqProg, parProg) {
+		t.Fatalf("per-point summaries diverge:\n%v\nvs\n%v", seqProg, parProg)
+	}
+}
+
+// TestGridReplication checks the mean ± 95% CI opt-in: replicated points
+// emit the CI series, the mean lies inside the replica range, and a single
+// replica reproduces the unreplicated table byte for byte.
+func TestGridReplication(t *testing.T) {
+	run := func(replicas int) *metrics.Table {
+		tab := &metrics.Table{Title: "grid", XLabel: "ul", YLabel: "frac"}
+		opts := Options{Seed: 1, Quick: true, Parallel: 4, Replicas: replicas}
+		cfg := tinyCfg(opts)
+		cfg.UploadKbps = 30
+		pts := []point{{
+			label: "grid",
+			cfg:   cfg,
+			emit: func(rs []*sim.Result) {
+				if len(rs) != max(replicas, 1) {
+					t.Fatalf("emit got %d replicas, want %d", len(rs), max(replicas, 1))
+				}
+				appendAgg(tab, "frac", 30, rs, exchFraction)
+			},
+		}}
+		if err := runGrid(opts, pts); err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+
+	plain := run(0)
+	if plain.Get("frac ±95%") != nil {
+		t.Fatal("unreplicated grid emitted a CI series")
+	}
+	rep := run(4)
+	ci := rep.Get("frac ±95%")
+	if ci == nil {
+		t.Fatalf("replicated grid missing CI series; have %v", seriesNames(rep))
+	}
+	if ci.Points[0].Y < 0 {
+		t.Fatalf("negative CI half-width %v", ci.Points[0].Y)
+	}
+	m := rep.Get("frac").Points[0].Y
+	if math.IsNaN(m) || m < 0 || m > 1 {
+		t.Fatalf("replica mean %v out of range", m)
+	}
 }

@@ -80,6 +80,38 @@ func (s *Stream) Max() float64 {
 	return s.max
 }
 
+// tCrit95 holds two-sided 95% Student-t critical values for 1..30 degrees of
+// freedom; beyond 30 the normal approximation 1.96 is used.
+var tCrit95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// MeanCI95 returns the sample mean of xs and the half-width of its 95%
+// confidence interval (Student t for n <= 31, normal beyond). With no
+// observations both are NaN; with one observation the half-width is 0 —
+// replicated experiments opt into CI columns only when replication is on, so
+// a single replica reports its value with no spread.
+func MeanCI95(xs []float64) (mean, half float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	var s Stream
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if len(xs) == 1 {
+		return s.Mean(), 0
+	}
+	df := len(xs) - 1
+	crit := 1.96
+	if df <= len(tCrit95) {
+		crit = tCrit95[df-1]
+	}
+	return s.Mean(), crit * s.Stddev() / math.Sqrt(float64(len(xs)))
+}
+
 // Sample retains every observation so quantiles and CDFs can be computed
 // exactly. The per-run sample counts in this study are small (tens of
 // thousands), so exact retention is preferable to sketching.

@@ -231,3 +231,38 @@ func TestTableGet(t *testing.T) {
 		t.Fatal("Get misbehaved")
 	}
 }
+
+func TestMeanCI95(t *testing.T) {
+	if m, h := MeanCI95(nil); !math.IsNaN(m) || !math.IsNaN(h) {
+		t.Fatalf("empty input: got (%v, %v), want NaNs", m, h)
+	}
+	if m, h := MeanCI95([]float64{3.5}); m != 3.5 || h != 0 {
+		t.Fatalf("single value: got (%v, %v), want (3.5, 0)", m, h)
+	}
+	// n=4, mean 5, stddev 2: half-width = t(3df)*2/2 = 3.182.
+	m, h := MeanCI95([]float64{3, 3, 7, 7})
+	if m != 5 {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	sem := math.Sqrt(16.0/3.0) / 2 // stddev/sqrt(n)
+	if want := 3.182 * sem; math.Abs(h-want) > 1e-9 {
+		t.Fatalf("half-width = %v, want %v", h, want)
+	}
+	// Identical observations carry zero spread.
+	if _, h := MeanCI95([]float64{2, 2, 2}); h != 0 {
+		t.Fatalf("constant sample: half-width %v, want 0", h)
+	}
+	// Large n falls back to the normal critical value.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	_, h = MeanCI95(xs)
+	var s Stream
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if want := 1.96 * s.Stddev() / 10; math.Abs(h-want) > 1e-9 {
+		t.Fatalf("normal-regime half-width = %v, want %v", h, want)
+	}
+}

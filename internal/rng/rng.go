@@ -35,6 +35,20 @@ func (r *RNG) Split(label uint64) *RNG {
 	return &RNG{state: z ^ (z >> 31)}
 }
 
+// DeriveSeed maps a base seed and a list of labels (for example job index
+// and replica number) to a new seed, mixing each label through one
+// splitmix64 round. The derivation is pure: it depends only on its inputs,
+// never on goroutine scheduling or draw order, which is what lets a parallel
+// experiment runner hand every job the same seed it would have received
+// sequentially. Adjacent labels produce unrelated seeds.
+func DeriveSeed(base uint64, labels ...uint64) uint64 {
+	r := RNG{state: base}
+	for _, l := range labels {
+		r = *r.Split(l)
+	}
+	return r.state
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -267,6 +267,40 @@ func TestWeightedPanics(t *testing.T) {
 	}
 }
 
+func TestDeriveSeedPureAndDistinct(t *testing.T) {
+	if a, b := DeriveSeed(7, 3, 1), DeriveSeed(7, 3, 1); a != b {
+		t.Fatalf("DeriveSeed not pure: %d vs %d", a, b)
+	}
+	// Adjacent labels, adjacent bases, and different label depths must all
+	// land on distinct seeds.
+	seen := map[uint64]bool{}
+	for base := uint64(0); base < 4; base++ {
+		for job := uint64(0); job < 8; job++ {
+			for rep := uint64(0); rep < 4; rep++ {
+				s := DeriveSeed(base, job, rep)
+				if seen[s] {
+					t.Fatalf("collision at base=%d job=%d rep=%d", base, job, rep)
+				}
+				seen[s] = true
+			}
+		}
+	}
+	if DeriveSeed(1) == DeriveSeed(1, 0) {
+		t.Fatal("label depth did not change the derived seed")
+	}
+}
+
+func TestDeriveSeedMatchesSplitChain(t *testing.T) {
+	// DeriveSeed is defined as chained Split, so the streams must agree.
+	want := New(9).Split(4).Split(2)
+	got := New(DeriveSeed(9, 4, 2))
+	for i := 0; i < 10; i++ {
+		if want.Uint64() != got.Uint64() {
+			t.Fatalf("stream diverged at draw %d", i)
+		}
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {

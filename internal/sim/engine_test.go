@@ -91,8 +91,19 @@ func TestSlotCounts(t *testing.T) {
 	}
 }
 
-func TestDeterminism(t *testing.T) {
+// shortConfig halves the simulated horizon in -short mode: determinism,
+// divergence, and completion-count properties hold at any horizon, so the
+// quick equivalent loses no coverage, only load.
+func shortConfig() Config {
 	cfg := testConfig()
+	if testing.Short() {
+		cfg.Duration = 12_000
+	}
+	return cfg
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := shortConfig()
 	a := runOne(t, cfg)
 	b := runOne(t, cfg)
 	if a.Events != b.Events {
@@ -112,7 +123,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestDifferentSeedsDiverge(t *testing.T) {
-	cfg := testConfig()
+	cfg := shortConfig()
 	a := runOne(t, cfg)
 	cfg.Seed = 2
 	b := runOne(t, cfg)
@@ -123,7 +134,7 @@ func TestDifferentSeedsDiverge(t *testing.T) {
 }
 
 func TestRunCompletesDownloads(t *testing.T) {
-	res := runOne(t, testConfig())
+	res := runOne(t, shortConfig())
 	if res.CompletedSharing == 0 {
 		t.Fatal("no sharing downloads completed")
 	}
@@ -227,7 +238,7 @@ func TestExchangeAdvantageExceedsBaseline(t *testing.T) {
 }
 
 func TestRingSizesWithinPolicyLimit(t *testing.T) {
-	cfg := testConfig()
+	cfg := shortConfig()
 	cfg.UploadKbps = 40
 	for _, pol := range []core.Policy{core.PolicyPairwise, core.Policy2N, core.PolicyN2} {
 		cfg.Policy = pol
@@ -241,7 +252,7 @@ func TestRingSizesWithinPolicyLimit(t *testing.T) {
 }
 
 func TestPairwisePolicyStartsOnlyPairs(t *testing.T) {
-	cfg := testConfig()
+	cfg := shortConfig()
 	cfg.Policy = core.PolicyPairwise
 	res := runOne(t, cfg)
 	for label := range res.SessionCount {
@@ -282,7 +293,7 @@ func TestAllFreeridersDegenerates(t *testing.T) {
 }
 
 func TestAllSharers(t *testing.T) {
-	cfg := testConfig()
+	cfg := shortConfig()
 	cfg.FreeriderFrac = 0
 	res := runOne(t, cfg)
 	if res.CompletedNonSharing != 0 {
@@ -358,14 +369,14 @@ func TestTypeLabel(t *testing.T) {
 }
 
 func TestResultSummary(t *testing.T) {
-	res := runOne(t, testConfig())
+	res := runOne(t, shortConfig())
 	if res.Summary() == "" {
 		t.Fatal("empty summary")
 	}
 }
 
 func TestWaitingTimesNonNegative(t *testing.T) {
-	res := runOne(t, testConfig())
+	res := runOne(t, shortConfig())
 	for _, key := range res.WaitingTimeMin.Keys() {
 		sample := res.WaitingTimeMin.Get(key)
 		if sample.Quantile(0) < 0 {
@@ -375,7 +386,7 @@ func TestWaitingTimesNonNegative(t *testing.T) {
 }
 
 func TestSessionVolumesWithinObjectSize(t *testing.T) {
-	cfg := testConfig()
+	cfg := shortConfig()
 	res := runOne(t, cfg)
 	maxKB := cfg.ObjectKbits / 8
 	for _, key := range res.SessionVolumeKB.Keys() {
