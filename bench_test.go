@@ -216,6 +216,36 @@ func BenchmarkSimulationEventRate(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkChurnEventRate measures engine throughput under continuous
+// disconnect/rejoin churn: bulk removal and re-insertion of whole peer
+// stores is the worst-case path of the incremental holders/wanters indexes.
+func BenchmarkChurnEventRate(b *testing.B) {
+	cfg := experiment.FullBase()
+	cfg.Duration = 20_000
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for t := 1_000.0; t < cfg.Duration-1_000; t += 1_000 {
+			s.RunUntil(t)
+			id := core.PeerID(int(t/1_000) % s.NumPeers())
+			s.DisconnectPeer(id)
+			s.RunUntil(t + 500)
+			s.RejoinPeer(id)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkRingSearchPolicies compares the per-search cost of the two
 // search orders on a loaded live graph snapshot.
 func BenchmarkRingSearchPolicies(b *testing.B) {

@@ -1,0 +1,304 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// trajectory point and gates regressions against a committed baseline. It is
+// pure Go with no dependencies beyond the standard library, so CI can run it
+// on a bare toolchain.
+//
+// Emit mode (default) parses benchmark output from stdin (or -in) and writes
+// a JSON document:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson -out BENCH_2.json
+//
+// Repeated runs of the same benchmark (e.g. -count=3) collapse to the run
+// with the lowest ns/op — the least-noise observation, as benchstat's min
+// column would report.
+//
+// Compare mode gates one benchmark's metric between two JSON documents:
+//
+//	benchjson -compare BENCH_2.json -new head.json \
+//	    -bench BenchmarkSimulationEventRate -metric events/s -tolerance 0.15
+//
+// It exits nonzero when the new value regresses beyond the tolerance
+// (direction-aware: events/s must not drop, ns/op must not rise).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schema is the document version; bump on incompatible layout changes.
+const Schema = 1
+
+// Benchmark is one benchmark's best observation.
+type Benchmark struct {
+	// Name is the benchmark name with any trailing -GOMAXPROCS suffix
+	// stripped (recorded separately in Procs) so documents from machines
+	// with different core counts stay comparable.
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is one trajectory point of the benchmark suite.
+type Document struct {
+	Schema     int         `json:"schema"`
+	Generated  string      `json:"generated"`
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in        = fs.String("in", "", "benchmark output to parse (default stdin)")
+		out       = fs.String("out", "", "JSON file to write (default stdout)")
+		compare   = fs.String("compare", "", "baseline JSON: switch to compare mode")
+		newer     = fs.String("new", "", "candidate JSON to compare against the baseline")
+		bench     = fs.String("bench", "BenchmarkSimulationEventRate", "benchmark name to gate in compare mode")
+		metric    = fs.String("metric", "events/s", `metric to gate ("ns/op" gates the time itself)`)
+		tolerance = fs.Float64("tolerance", 0.15, "allowed fractional regression before failing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *compare != "" {
+		if *newer == "" {
+			return fmt.Errorf("compare mode needs -new <candidate.json>")
+		}
+		return compareDocs(*compare, *newer, *bench, *metric, *tolerance, stdout)
+	}
+
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	doc, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	doc.Generated = time.Now().UTC().Format(time.RFC3339)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// procSuffix matches the -GOMAXPROCS suffix go test appends to benchmark
+// names.
+var procSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// Parse reads `go test -bench` output and builds a Document. Benchmark result
+// lines look like:
+//
+//	BenchmarkName-8   5   166921274 ns/op   4085559 events/s   53750 allocs/op
+//
+// Duplicate names (from -count or concatenated runs) collapse to the lowest
+// ns/op observation.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+	}
+	best := make(map[string]Benchmark)
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		prev, seen := best[b.Name]
+		if !seen {
+			order = append(order, b.Name)
+		}
+		if !seen || b.NsPerOp < prev.NsPerOp {
+			best[b.Name] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	for _, name := range order {
+		doc.Benchmarks = append(doc.Benchmarks, best[name])
+	}
+	return doc, nil
+}
+
+// parseLine parses one benchmark result line. It reports false for lines
+// that name a benchmark but carry no results (e.g. sub-benchmark headers).
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	if m := procSuffix.FindStringSubmatch(b.Name); m != nil {
+		b.Procs, _ = strconv.Atoi(m[1])
+		b.Name = strings.TrimSuffix(b.Name, m[0])
+	}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = val
+			sawNs = true
+			continue
+		}
+		b.Metrics[unit] = val
+	}
+	if !sawNs {
+		return Benchmark{}, false
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}
+
+// lowerIsBetter reports the gate direction for a metric: time- and
+// allocation-shaped metrics regress upward, throughput metrics downward.
+func lowerIsBetter(metric string) bool {
+	switch {
+	case metric == "ns/op", metric == "B/op", metric == "allocs/op":
+		return true
+	case strings.HasSuffix(metric, "/s"):
+		return false
+	default:
+		// Unknown custom metrics follow the throughput convention used
+		// throughout this suite (bigger numbers are better).
+		return false
+	}
+}
+
+func loadDoc(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+func (d *Document) find(name string) (Benchmark, bool) {
+	for _, b := range d.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+func (b Benchmark) metric(name string) (float64, bool) {
+	if name == "ns/op" {
+		return b.NsPerOp, true
+	}
+	v, ok := b.Metrics[name]
+	return v, ok
+}
+
+func compareDocs(basePath, newPath, bench, metric string, tolerance float64, out io.Writer) error {
+	base, err := loadDoc(basePath)
+	if err != nil {
+		return err
+	}
+	head, err := loadDoc(newPath)
+	if err != nil {
+		return err
+	}
+	bb, ok := base.find(bench)
+	if !ok {
+		return fmt.Errorf("baseline %s has no benchmark %q", basePath, bench)
+	}
+	hb, ok := head.find(bench)
+	if !ok {
+		return fmt.Errorf("candidate %s has no benchmark %q", newPath, bench)
+	}
+	bv, ok := bb.metric(metric)
+	if !ok {
+		return fmt.Errorf("baseline %s lacks metric %q for %s", basePath, metric, bench)
+	}
+	hv, ok := hb.metric(metric)
+	if !ok {
+		return fmt.Errorf("candidate %s lacks metric %q for %s", newPath, metric, bench)
+	}
+	if bv == 0 {
+		return fmt.Errorf("baseline %s %s is zero; cannot compute a ratio", bench, metric)
+	}
+	change := hv/bv - 1
+	regressed := change < -tolerance
+	if lowerIsBetter(metric) {
+		regressed = change > tolerance
+	}
+	fmt.Fprintf(out, "%s %s: baseline %.6g, new %.6g (%+.1f%%, tolerance ±%.0f%%)\n",
+		bench, metric, bv, hv, 100*change, 100*tolerance)
+	if regressed {
+		return fmt.Errorf("%s regressed: %s changed %+.1f%% (tolerance %.0f%%)",
+			bench, metric, 100*change, 100*tolerance)
+	}
+	fmt.Fprintln(out, "OK: within tolerance")
+	return nil
+}

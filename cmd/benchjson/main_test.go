@@ -1,0 +1,210 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: barter
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig4 	       1	 512340000 ns/op	         1.800 speedup@tightest
+BenchmarkRingSearchPolicies/2-5-way-8 	  120000	      9876 ns/op	       3 allocs/op
+BenchmarkSimulationEventRate 	       5	 166921274 ns/op	   4085559 events/s	 2867452 B/op	   53750 allocs/op
+BenchmarkSimulationEventRate 	       5	 180000000 ns/op	   3700000 events/s	 2867452 B/op	   53750 allocs/op
+PASS
+ok  	barter	2.5s
+`
+
+func parseSample(t *testing.T) *Document {
+	t.Helper()
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParseHeaders(t *testing.T) {
+	doc := parseSample(t)
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" {
+		t.Fatalf("goos/goarch = %q/%q", doc.GOOS, doc.GOARCH)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", doc.CPU)
+	}
+	if doc.Schema != Schema {
+		t.Fatalf("schema = %d", doc.Schema)
+	}
+}
+
+func TestParseBenchmarksAndMetrics(t *testing.T) {
+	doc := parseSample(t)
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	er, ok := doc.find("BenchmarkSimulationEventRate")
+	if !ok {
+		t.Fatal("event-rate benchmark missing")
+	}
+	// Duplicates collapse to the lowest ns/op observation.
+	if er.NsPerOp != 166921274 {
+		t.Fatalf("ns/op = %v, want the faster of the two runs", er.NsPerOp)
+	}
+	if er.Metrics["events/s"] != 4085559 || er.Metrics["allocs/op"] != 53750 {
+		t.Fatalf("metrics = %v", er.Metrics)
+	}
+	if er.Iterations != 5 {
+		t.Fatalf("iterations = %d", er.Iterations)
+	}
+}
+
+func TestParseStripsProcSuffix(t *testing.T) {
+	doc := parseSample(t)
+	b, ok := doc.find("BenchmarkRingSearchPolicies/2-5-way")
+	if !ok {
+		names := make([]string, 0, len(doc.Benchmarks))
+		for _, x := range doc.Benchmarks {
+			names = append(names, x.Name)
+		}
+		t.Fatalf("sub-benchmark not found under stripped name; have %v", names)
+	}
+	if b.Procs != 8 {
+		t.Fatalf("procs = %d, want 8", b.Procs)
+	}
+}
+
+func TestParseCustomUnitOnly(t *testing.T) {
+	doc := parseSample(t)
+	b, ok := doc.find("BenchmarkFig4")
+	if !ok {
+		t.Fatal("fig4 missing")
+	}
+	if b.Metrics["speedup@tightest"] != 1.8 {
+		t.Fatalf("custom metric = %v", b.Metrics)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok barter 1s\n")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func writeDoc(t *testing.T, dir, name string, eventsPerSec float64) string {
+	t.Helper()
+	doc := Document{
+		Schema: Schema,
+		Benchmarks: []Benchmark{{
+			Name:       "BenchmarkSimulationEventRate",
+			Iterations: 5,
+			NsPerOp:    1e8,
+			Metrics:    map[string]float64{"events/s": eventsPerSec},
+		}},
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", 1_000_000)
+	head := writeDoc(t, dir, "head.json", 900_000) // -10%, inside 15%
+	var out strings.Builder
+	err := compareDocs(base, head, "BenchmarkSimulationEventRate", "events/s", 0.15, &out)
+	if err != nil {
+		t.Fatalf("within-tolerance compare failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("no OK verdict:\n%s", out.String())
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", 1_000_000)
+	head := writeDoc(t, dir, "head.json", 800_000) // -20%, outside 15%
+	var out strings.Builder
+	err := compareDocs(base, head, "BenchmarkSimulationEventRate", "events/s", 0.15, &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("regression not flagged: %v", err)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", 1_000_000)
+	head := writeDoc(t, dir, "head.json", 2_000_000) // +100%
+	var out strings.Builder
+	if err := compareDocs(base, head, "BenchmarkSimulationEventRate", "events/s", 0.15, &out); err != nil {
+		t.Fatalf("improvement flagged as regression: %v", err)
+	}
+}
+
+func TestCompareNsPerOpDirection(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", 1)
+	head := writeDoc(t, dir, "head.json", 1)
+	var out strings.Builder
+	// ns/op identical in both docs -> passes.
+	if err := compareDocs(base, head, "BenchmarkSimulationEventRate", "ns/op", 0.15, &out); err != nil {
+		t.Fatalf("identical ns/op compare failed: %v", err)
+	}
+	// A doc with ns/op 30% higher must fail the lower-is-better gate.
+	worse := writeDoc(t, dir, "worse.json", 1)
+	raw, _ := os.ReadFile(worse)
+	var doc Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc.Benchmarks[0].NsPerOp = 1.3e8
+	data, _ := json.Marshal(doc)
+	if err := os.WriteFile(worse, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareDocs(base, worse, "BenchmarkSimulationEventRate", "ns/op", 0.15, &out); err == nil {
+		t.Fatal("ns/op regression not flagged")
+	}
+}
+
+func TestCompareMissingBenchmarkErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", 1)
+	head := writeDoc(t, dir, "head.json", 1)
+	var out strings.Builder
+	if err := compareDocs(base, head, "BenchmarkNoSuch", "events/s", 0.15, &out); err == nil {
+		t.Fatal("missing benchmark accepted")
+	}
+}
+
+func TestRunEmitMode(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "bench.json")
+	var stdout, stderr strings.Builder
+	err := run([]string{"-out", outPath}, strings.NewReader(sample), &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("emit mode: %v\n%s", err, stderr.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("emitted JSON invalid: %v", err)
+	}
+	if doc.Generated == "" || len(doc.Benchmarks) != 3 {
+		t.Fatalf("emitted doc incomplete: %+v", doc)
+	}
+}

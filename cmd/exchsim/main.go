@@ -3,7 +3,7 @@
 // Usage:
 //
 //	exchsim -list
-//	exchsim -experiment fig4 [-quick] [-seed 7] [-parallel 8] [-replicas 5] [-v]
+//	exchsim -experiment fig4 [-quick] [-seed 7] [-parallel 8] [-replicas 5] [-v] [-perf]
 //	exchsim -all [-quick]
 //
 // Output is tab-separated: one column per plotted series, one row per x
@@ -12,6 +12,11 @@
 // byte-identical at any worker count for the same seed. -replicas N runs
 // every point N times under distinct derived seeds and adds mean ± 95% CI
 // columns to the swept figures.
+//
+// -perf appends an engine performance report to stderr after the runs:
+// events/sec of wall time, ring-search traversal effort, and allocation
+// load. The counters are published once per completed run, outside the hot
+// path, so the report never perturbs the deterministic TSV output.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"os"
 
 	"barter"
+	"barter/internal/perfstats"
 )
 
 // errUsage signals a flag-parsing failure whose specifics the FlagSet has
@@ -47,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallel = fs.Int("parallel", 0, "worker pool size for grid points (0 = one per CPU)")
 		replicas = fs.Int("replicas", 1, "replications per grid point (adds mean ± 95% CI columns)")
 		verbose  = fs.Bool("v", false, "print per-run progress to stderr")
+		perf     = fs.Bool("perf", false, "print an engine performance report to stderr after the runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,6 +77,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *verbose {
 		opts.Progress = func(msg string) { fmt.Fprintln(stderr, msg) }
+	}
+	if *perf {
+		timer := perfstats.StartTimer()
+		defer func() { fmt.Fprint(stderr, timer.Report()) }()
 	}
 
 	switch {

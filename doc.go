@@ -25,7 +25,26 @@
 // parallelism. RunnerOptions.Replicas reruns every grid point under
 // distinct derived seeds and aggregates swept series to mean ± 95% CI.
 //
+// Inside one run the engine honors the same contract at a finer grain, and
+// every hot-path optimization must preserve it: the event queue breaks
+// timestamp ties by schedule order, the incremental holders/wanters indexes
+// iterate in ascending peer-id order (candidate order feeds the RNG draws),
+// and no behavior depends on map iteration order, pointer values, or wall
+// time. The engine hot path is allocation-free at steady state — free-listed
+// event-queue items, closure-free block events, free-listed session/request
+// objects, and pooled ring-search scratch — without bending any of the
+// above.
+//
+// Performance is tracked continuously: exchsim -perf appends an engine
+// report (events/sec, ring-search traversal effort, allocation load) to
+// stderr without touching the hot path, and `make bench-json` runs the
+// benchmark suite through cmd/benchjson into the machine-readable trajectory
+// point BENCH_2.json at the repo root, which CI's bench-track job
+// regenerates, gates (>15% event-rate regression fails), and archives on
+// every push.
+//
 // The examples directory demonstrates all three layers; cmd/exchsim
 // regenerates the paper's figures from the command line (-parallel bounds
-// the pool, -replicas turns on replication).
+// the pool, -replicas turns on replication, -perf reports engine
+// performance).
 package barter

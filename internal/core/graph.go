@@ -15,6 +15,63 @@ type Edge struct {
 // requests"); real peers bound their search effort, and so do we.
 const DefaultSearchBudget = 4096
 
+// SearchScratch holds the reusable working memory of ring searches: the
+// visited set as an epoch-stamped dense array (cleared in O(1) by bumping the
+// generation), the BFS node pool, and the DFS path buffers. One scratch
+// serves any number of sequential searches; it is not safe for concurrent
+// use. A nil scratch on Graph falls back to a fresh allocation per search.
+type SearchScratch struct {
+	visited []uint32 // epoch stamps indexed by PeerID
+	gen     uint32
+	nodes   []bfsNode
+	path    []Edge
+	best    []Edge
+	first1  [1]Edge
+}
+
+// NewSearchScratch returns a scratch pre-sized for peer ids below numPeers;
+// it grows transparently if larger ids appear.
+func NewSearchScratch(numPeers int) *SearchScratch {
+	return &SearchScratch{visited: make([]uint32, numPeers)}
+}
+
+// begin starts a new search epoch, invalidating all marks in O(1).
+func (sc *SearchScratch) begin() {
+	sc.gen++
+	if sc.gen == 0 { // wrapped: stale stamps could alias; hard-reset once
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.gen = 1
+	}
+}
+
+func (sc *SearchScratch) marked(p PeerID) bool {
+	return int(p) < len(sc.visited) && sc.visited[p] == sc.gen
+}
+
+func (sc *SearchScratch) mark(p PeerID) {
+	if int(p) >= len(sc.visited) {
+		nv := make([]uint32, int(p)+1, 2*(int(p)+1))
+		copy(nv, sc.visited)
+		sc.visited = nv
+	}
+	sc.visited[p] = sc.gen
+}
+
+func (sc *SearchScratch) unmark(p PeerID) {
+	if int(p) < len(sc.visited) {
+		sc.visited[p] = 0
+	}
+}
+
+// bfsNode is one visited node of the breadth-first ring search.
+type bfsNode struct {
+	edge   Edge
+	parent int // index into the node pool, -1 for depth-2 nodes
+	depth  int
+}
+
 // Graph searches the live request graph for exchange rings. It is the
 // simulator's counterpart of the tree-based FindRing: the simulator has the
 // current request graph available (per-peer incoming request queues), which
@@ -29,6 +86,9 @@ type Graph struct {
 	Budget int
 	// Fanout caps how many in-edges are explored per node (0 = unlimited).
 	Fanout int
+	// Scratch, when set, keeps searches allocation-free by reusing working
+	// memory across calls. Searches behave identically with or without it.
+	Scratch *SearchScratch
 }
 
 func (g Graph) budget() int {
@@ -65,10 +125,15 @@ func (g Graph) search(root PeerID, first *Edge, wants []Want, pol Policy) (*Ring
 	if !pol.SearchesExchanges() || len(wants) == 0 {
 		return nil, 0, stats, false
 	}
-	if pol.Kind == LongFirst {
-		return g.searchDeepFirst(root, first, wants, pol, &stats)
+	sc := g.Scratch
+	if sc == nil {
+		sc = NewSearchScratch(0)
 	}
-	return g.searchShallowFirst(root, first, wants, pol, &stats)
+	sc.begin()
+	if pol.Kind == LongFirst {
+		return g.searchDeepFirst(sc, root, first, wants, pol, &stats)
+	}
+	return g.searchShallowFirst(sc, root, first, wants, pol, &stats)
 }
 
 // match returns the index of the first want provided by p, or -1.
@@ -82,27 +147,34 @@ func match(p PeerID, wants []Want, stats *SearchStats) int {
 	return -1
 }
 
+// frontier returns the depth-2 seed edges: the single via edge, or the
+// root's full in-edge list.
+func (g Graph) frontier(sc *SearchScratch, root PeerID, first *Edge) []Edge {
+	if first != nil {
+		sc.first1[0] = *first
+		return sc.first1[:]
+	}
+	return g.edges(root)
+}
+
 // searchShallowFirst runs a breadth-first traversal, so the first candidate
 // found closes the smallest possible ring (ShortFirst and PairwiseOnly both
 // want the shallowest match, earliest within a level).
-func (g Graph) searchShallowFirst(root PeerID, first *Edge, wants []Want, pol Policy, stats *SearchStats) (*Ring, int, SearchStats, bool) {
+func (g Graph) searchShallowFirst(sc *SearchScratch, root PeerID, first *Edge, wants []Want, pol Policy, stats *SearchStats) (*Ring, int, SearchStats, bool) {
 	limit := pol.Limit()
 	budget := g.budget()
 
-	type bfsNode struct {
-		edge   Edge
-		parent int // index into nodes, -1 for depth-2 nodes
-		depth  int
-	}
-	var nodes []bfsNode
-	visited := map[PeerID]bool{root: true}
+	nodes := sc.nodes[:0]
+	defer func() { sc.nodes = nodes }()
+	sc.mark(root)
 
 	build := func(idx, want int) (*Ring, int, SearchStats, bool) {
 		stats.Candidates++
-		var rev []Edge
+		rev := sc.path[:0]
 		for i := idx; i >= 0; i = nodes[i].parent {
 			rev = append(rev, nodes[i].edge)
 		}
+		sc.path = rev
 		ring := &Ring{Members: make([]Member, 0, len(rev)+1)}
 		ring.Members = append(ring.Members, Member{Peer: root, Gives: rev[len(rev)-1].Object})
 		for i := len(rev) - 1; i > 0; i-- {
@@ -113,23 +185,17 @@ func (g Graph) searchShallowFirst(root PeerID, first *Edge, wants []Want, pol Po
 	}
 
 	push := func(e Edge, parent, depth int) (int, bool) {
-		if visited[e.Peer] || stats.NodesVisited >= budget {
+		if sc.marked(e.Peer) || stats.NodesVisited >= budget {
 			return -1, false
 		}
-		visited[e.Peer] = true
+		sc.mark(e.Peer)
 		stats.NodesVisited++
 		nodes = append(nodes, bfsNode{edge: e, parent: parent, depth: depth})
 		return len(nodes) - 1, true
 	}
 
 	// Seed the depth-2 frontier.
-	var frontier []Edge
-	if first != nil {
-		frontier = []Edge{*first}
-	} else {
-		frontier = g.edges(root)
-	}
-	for _, e := range frontier {
+	for _, e := range g.frontier(sc, root, first) {
 		idx, ok := push(e, -1, 2)
 		if !ok {
 			continue
@@ -161,35 +227,35 @@ func (g Graph) searchShallowFirst(root PeerID, first *Edge, wants []Want, pol Po
 // searchDeepFirst runs a depth-first traversal tracking the deepest
 // candidate, returning immediately when a candidate at the ring-size limit
 // is found. Unlike BFS it may revisit a peer over different paths, so the
-// on-path set guards against repeated peers inside one ring.
-func (g Graph) searchDeepFirst(root PeerID, first *Edge, wants []Want, pol Policy, stats *SearchStats) (*Ring, int, SearchStats, bool) {
+// on-path marks guard against repeated peers inside one ring (mark on
+// descent, unmark on backtrack).
+func (g Graph) searchDeepFirst(sc *SearchScratch, root PeerID, first *Edge, wants []Want, pol Policy, stats *SearchStats) (*Ring, int, SearchStats, bool) {
 	limit := pol.Limit()
 	budget := g.budget()
 
-	type candidate struct {
-		path []Edge
-		want int
-	}
-	var best *candidate
-	onPath := map[PeerID]bool{root: true}
-	path := make([]Edge, 0, limit)
+	bestWant := -1
+	best := sc.best[:0]
+	path := sc.path[:0]
+	defer func() { sc.best, sc.path = best, path }()
+	sc.mark(root)
 
 	var walk func(e Edge, depth int) bool // returns true to abort (limit hit)
 	walk = func(e Edge, depth int) bool {
-		if depth > limit || onPath[e.Peer] || stats.NodesVisited >= budget {
+		if depth > limit || sc.marked(e.Peer) || stats.NodesVisited >= budget {
 			return false
 		}
 		stats.NodesVisited++
 		path = append(path, e)
-		onPath[e.Peer] = true
+		sc.mark(e.Peer)
 		defer func() {
-			onPath[e.Peer] = false
+			sc.unmark(e.Peer)
 			path = path[:len(path)-1]
 		}()
 		if w := match(e.Peer, wants, stats); w >= 0 {
 			stats.Candidates++
-			if best == nil || len(path) > len(best.path) {
-				best = &candidate{path: append([]Edge(nil), path...), want: w}
+			if bestWant < 0 || len(path) > len(best) {
+				best = append(best[:0], path...)
+				bestWant = w
 			}
 			if depth == limit {
 				return true
@@ -203,26 +269,20 @@ func (g Graph) searchDeepFirst(root PeerID, first *Edge, wants []Want, pol Polic
 		return false
 	}
 
-	var frontier []Edge
-	if first != nil {
-		frontier = []Edge{*first}
-	} else {
-		frontier = g.edges(root)
-	}
-	for _, e := range frontier {
+	for _, e := range g.frontier(sc, root, first) {
 		if walk(e, 2) {
 			break
 		}
 	}
-	if best == nil {
+	if bestWant < 0 {
 		return nil, 0, *stats, false
 	}
-	ring := &Ring{Members: make([]Member, 0, len(best.path)+1)}
-	ring.Members = append(ring.Members, Member{Peer: root, Gives: best.path[0].Object})
-	for i := 0; i < len(best.path)-1; i++ {
-		ring.Members = append(ring.Members, Member{Peer: best.path[i].Peer, Gives: best.path[i+1].Object})
+	ring := &Ring{Members: make([]Member, 0, len(best)+1)}
+	ring.Members = append(ring.Members, Member{Peer: root, Gives: best[0].Object})
+	for i := 0; i < len(best)-1; i++ {
+		ring.Members = append(ring.Members, Member{Peer: best[i].Peer, Gives: best[i+1].Object})
 	}
-	last := best.path[len(best.path)-1]
-	ring.Members = append(ring.Members, Member{Peer: last.Peer, Gives: wants[best.want].Object})
-	return ring, best.want, *stats, true
+	last := best[len(best)-1]
+	ring.Members = append(ring.Members, Member{Peer: last.Peer, Gives: wants[bestWant].Object})
+	return ring, bestWant, *stats, true
 }

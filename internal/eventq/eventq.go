@@ -1,11 +1,19 @@
 // Package eventq implements the future event list of a discrete-event
-// simulation: a binary min-heap of timestamped events plus a virtual clock.
+// simulation: a 4-ary min-heap of timestamped events plus a virtual clock.
 //
 // Determinism is a design requirement for the reproduction study: two runs
 // with the same seed must execute the same event sequence. Events scheduled
 // for the same instant are therefore ordered by a monotonically increasing
-// sequence number, so heap ordering never depends on map iteration or pointer
-// values.
+// sequence number, so the (timestamp, sequence) order is a strict total
+// order and heap ordering never depends on map iteration or pointer values.
+//
+// The queue is also the simulator's hottest data structure (one heap push and
+// pop per simulated event), so it is built to stay off the garbage
+// collector's books: heap items are recycled through an internal free list,
+// cancellation is lazy (an item is marked and skipped when popped), and a
+// Handle carries the item pointer plus its scheduling sequence so Cancel
+// needs no lookup map. The 4-ary layout halves sift-down depth relative to a
+// binary heap, which is where a pop-heavy workload spends its time.
 package eventq
 
 import (
@@ -32,20 +40,24 @@ var _ Event = Func(nil)
 var ErrPast = errors.New("eventq: schedule in the past")
 
 // Handle identifies a scheduled event so it can be cancelled. The zero Handle
-// is invalid.
+// is invalid. A Handle is only meaningful against the Queue that issued it.
 type Handle struct {
+	it *item
+	// seq is the scheduling instance the handle refers to. Items are
+	// recycled, but sequence numbers never are: a stale handle to a fired or
+	// cancelled event holds a sequence its item no longer carries, so Cancel
+	// recognizes it as dead instead of corrupting the item's next life.
 	seq uint64
 }
 
 // Valid reports whether h refers to an event that was actually scheduled.
-func (h Handle) Valid() bool { return h.seq != 0 }
+func (h Handle) Valid() bool { return h.it != nil }
 
 type item struct {
 	at        float64
-	seq       uint64
+	seq       uint64 // 0 while the item rests on the free list
 	ev        Event
 	cancelled bool
-	index     int // position in heap, -1 once popped
 }
 
 // Queue is a future event list with a virtual clock. The zero value is not
@@ -56,22 +68,23 @@ type item struct {
 // reproducibility.
 type Queue struct {
 	heap    []*item
-	byseq   map[uint64]*item
+	free    []*item
 	clock   float64
 	nextSeq uint64
 	fired   uint64
+	pending int // scheduled and not yet fired or cancelled
 }
 
 // New returns an empty queue with the clock at zero.
 func New() *Queue {
-	return &Queue{byseq: make(map[uint64]*item)}
+	return &Queue{}
 }
 
 // Now returns the current virtual time.
 func (q *Queue) Now() float64 { return q.clock }
 
 // Len returns the number of pending (non-cancelled) events.
-func (q *Queue) Len() int { return len(q.byseq) }
+func (q *Queue) Len() int { return q.pending }
 
 // Fired returns the total number of events executed so far.
 func (q *Queue) Fired() uint64 { return q.fired }
@@ -84,10 +97,18 @@ func (q *Queue) At(at float64, ev Event) (Handle, error) {
 		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrPast, at, q.clock)
 	}
 	q.nextSeq++
-	it := &item{at: at, seq: q.nextSeq, ev: ev}
-	q.byseq[it.seq] = it
+	var it *item
+	if n := len(q.free); n > 0 {
+		it = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		it = &item{}
+	}
+	it.at, it.seq, it.ev, it.cancelled = at, q.nextSeq, ev, false
 	q.push(it)
-	return Handle{seq: it.seq}, nil
+	q.pending++
+	return Handle{it: it, seq: it.seq}, nil
 }
 
 // After schedules ev to fire delay time units after the current clock.
@@ -98,33 +119,46 @@ func (q *Queue) After(delay float64, ev Event) (Handle, error) {
 
 // Cancel removes a pending event. It reports whether the event was still
 // pending (false if it already fired, was already cancelled, or the handle is
-// invalid).
+// invalid). Cancellation is lazy — O(1) — and safe against stale handles: a
+// handle to an event that fired keeps a sequence number its (recycled) item
+// will never carry again.
 func (q *Queue) Cancel(h Handle) bool {
-	it, ok := q.byseq[h.seq]
-	if !ok || it.cancelled {
+	it := h.it
+	if it == nil || it.seq != h.seq || it.cancelled {
 		return false
 	}
-	// Lazy deletion: mark and drop the map entry; the heap entry is skipped
-	// when popped. This keeps Cancel O(1) and is safe because cancelled items
-	// never fire.
 	it.cancelled = true
-	delete(q.byseq, h.seq)
+	q.pending--
 	return true
+}
+
+// recycle returns a popped item to the free list. Clearing seq makes every
+// outstanding handle to the item's previous life fail Cancel's sequence
+// check, and dropping ev releases the event for collection.
+func (q *Queue) recycle(it *item) {
+	it.ev = nil
+	it.seq = 0
+	it.cancelled = false
+	q.free = append(q.free, it)
 }
 
 // Step pops and fires the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was fired (false when the queue is
-// empty).
+// empty). The popped item is recycled before Fire runs: the event may freely
+// schedule new work, and any handle to the fired event is already dead.
 func (q *Queue) Step() bool {
 	for len(q.heap) > 0 {
 		it := q.pop()
 		if it.cancelled {
+			q.recycle(it)
 			continue
 		}
-		delete(q.byseq, it.seq)
-		q.clock = it.at
+		at, ev := it.at, it.ev
+		q.recycle(it)
+		q.pending--
+		q.clock = at
 		q.fired++
-		it.ev.Fire(q.clock)
+		ev.Fire(q.clock)
 		return true
 	}
 	return false
@@ -159,13 +193,14 @@ func (q *Queue) peek() *item {
 		if !it.cancelled {
 			return it
 		}
-		q.pop()
+		q.recycle(q.pop())
 	}
 	return nil
 }
 
 // less orders items by timestamp, breaking ties by schedule order so that the
-// event sequence is fully deterministic.
+// event sequence is fully deterministic. Because seq is unique the order is
+// strict, and any heap shape pops the same sequence of events.
 func less(a, b *item) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -173,57 +208,59 @@ func less(a, b *item) bool {
 	return a.seq < b.seq
 }
 
+// The heap is 4-ary: children of i are 4i+1 .. 4i+4. Sift operations move a
+// hole instead of swapping, halving the writes of the classic exchange loop.
+
 func (q *Queue) push(it *item) {
-	it.index = len(q.heap)
 	q.heap = append(q.heap, it)
-	q.up(it.index)
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !less(it, q.heap[parent]) {
+			break
+		}
+		q.heap[i] = q.heap[parent]
+		i = parent
+	}
+	q.heap[i] = it
 }
 
 func (q *Queue) pop() *item {
 	n := len(q.heap)
 	it := q.heap[0]
-	q.swap(0, n-1)
+	last := q.heap[n-1]
 	q.heap[n-1] = nil
 	q.heap = q.heap[:n-1]
-	if len(q.heap) > 0 {
-		q.down(0)
+	if n > 1 {
+		q.down(last)
 	}
-	it.index = -1
 	return it
 }
 
-func (q *Queue) swap(i, j int) {
-	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
-	q.heap[i].index = i
-	q.heap[j].index = j
-}
-
-func (q *Queue) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !less(q.heap[i], q.heap[parent]) {
+// down sifts it from the root to its position, moving the hole ahead of it.
+func (q *Queue) down(it *item) {
+	n := len(q.heap)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
 			break
 		}
-		q.swap(i, parent)
-		i = parent
-	}
-}
-
-func (q *Queue) down(i int) {
-	n := len(q.heap)
-	for {
-		left, right := 2*i+1, 2*i+2
-		smallest := i
-		if left < n && less(q.heap[left], q.heap[smallest]) {
-			smallest = left
+		smallest := first
+		end := first + 4
+		if end > n {
+			end = n
 		}
-		if right < n && less(q.heap[right], q.heap[smallest]) {
-			smallest = right
+		for c := first + 1; c < end; c++ {
+			if less(q.heap[c], q.heap[smallest]) {
+				smallest = c
+			}
 		}
-		if smallest == i {
-			return
+		if !less(q.heap[smallest], it) {
+			break
 		}
-		q.swap(i, smallest)
+		q.heap[i] = q.heap[smallest]
 		i = smallest
 	}
+	q.heap[i] = it
 }

@@ -258,6 +258,127 @@ func TestLargeRandomWorkload(t *testing.T) {
 	}
 }
 
+// TestStaleHandleAfterItemReuse exercises the free list: an item recycled
+// after firing (or after a cancelled pop) is reused for a new event, and the
+// old handle must not be able to cancel the item's new occupant.
+func TestStaleHandleAfterItemReuse(t *testing.T) {
+	q := New()
+	h1, err := q.At(1, Func(func(float64) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.RunUntil(1) // fires and recycles h1's item
+	fired := false
+	h2, err := q.At(2, Func(func(float64) { fired = true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cancel(h1) {
+		t.Fatal("stale handle cancelled a reused item")
+	}
+	q.RunUntil(2)
+	if !fired {
+		t.Fatal("event on reused item did not fire")
+	}
+	if q.Cancel(h2) {
+		t.Fatal("Cancel after fire returned true on reused item")
+	}
+}
+
+// TestCancelledItemsAreReused verifies cancelled entries drain through the
+// free list instead of accumulating in the heap forever.
+func TestCancelledItemsAreReused(t *testing.T) {
+	q := New()
+	for round := 0; round < 100; round++ {
+		h, err := q.After(1, Func(func(float64) { t.Error("cancelled event fired") }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Cancel(h)
+		q.RunUntil(q.Now() + 2)
+	}
+	if len(q.heap) != 0 {
+		t.Fatalf("heap retains %d entries after all cancels drained", len(q.heap))
+	}
+	if got := len(q.free); got == 0 || got > 2 {
+		t.Fatalf("free list holds %d items, want 1 or 2", got)
+	}
+}
+
+// TestLenTracksCancelledAndFired pins Len across interleaved schedule,
+// cancel, and fire operations.
+func TestLenTracksCancelledAndFired(t *testing.T) {
+	q := New()
+	var hs []Handle
+	for i := 0; i < 10; i++ {
+		h, err := q.At(float64(i+1), Func(func(float64) {}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	q.Cancel(hs[3])
+	q.Cancel(hs[7])
+	if q.Len() != 8 {
+		t.Fatalf("Len after 2 cancels = %d, want 8", q.Len())
+	}
+	q.RunUntil(5) // fires events at 1,2,3,5 (4 was cancelled)
+	if q.Len() != 4 {
+		t.Fatalf("Len after RunUntil(5) = %d, want 4", q.Len())
+	}
+	q.RunUntil(100)
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", q.Len())
+	}
+	if q.Fired() != 8 {
+		t.Fatalf("Fired = %d, want 8", q.Fired())
+	}
+}
+
+// TestQuaternaryHeapRandomOpsWithCancels mixes scheduling, firing, and
+// cancelling at random and checks the pop order stays nondecreasing with
+// schedule-order tie-breaking.
+func TestQuaternaryHeapRandomOpsWithCancels(t *testing.T) {
+	q := New()
+	r := rand.New(rand.NewSource(99))
+	type rec struct{ at float64 }
+	var fired []rec
+	live := make(map[int]Handle)
+	next := 0
+	for i := 0; i < 50000; i++ {
+		switch op := r.Intn(10); {
+		case op < 6:
+			at := q.Now() + r.Float64()*100
+			h, err := q.At(at, Func(func(now float64) { fired = append(fired, rec{at: now}) }))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live[next] = h
+			next++
+		case op < 8:
+			for k, h := range live { // cancel one arbitrary live handle
+				q.Cancel(h)
+				delete(live, k)
+				break
+			}
+		default:
+			q.Step()
+		}
+	}
+	q.RunUntil(1e12)
+	for i := 1; i < len(fired); i++ {
+		if fired[i].at < fired[i-1].at {
+			t.Fatalf("fire order regressed at %d: %v after %v", i, fired[i].at, fired[i-1].at)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", q.Len())
+	}
+}
+
 func BenchmarkScheduleAndFire(b *testing.B) {
 	q := New()
 	r := rand.New(rand.NewSource(7))

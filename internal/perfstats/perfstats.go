@@ -1,0 +1,142 @@
+// Package perfstats aggregates engine performance counters across
+// simulation runs: events executed, ring-search traversal effort, and (via
+// the runtime) allocation totals. Counters are process-global and atomic so
+// the parallel experiment runner's workers can publish without coordination,
+// and the engine publishes once per completed run — the hot path itself is
+// never touched, so enabling the report cannot perturb deterministic output.
+//
+// cmd/exchsim surfaces a report through its -perf flag; cmd/benchjson feeds
+// the benchmark trajectory (BENCH_*.json) from the same numbers.
+package perfstats
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Snapshot is one consistent view of the aggregated counters.
+type Snapshot struct {
+	// Runs counts completed simulation runs.
+	Runs uint64
+	// Events counts discrete events executed.
+	Events uint64
+	// RingSearches counts ring searches; SearchNodesVisited and
+	// SearchWantsChecked aggregate their traversal cost.
+	RingSearches       uint64
+	SearchNodesVisited uint64
+	SearchWantsChecked uint64
+	// RingsStarted counts rings that passed validation and started.
+	RingsStarted uint64
+}
+
+var global struct {
+	runs, events           atomic.Uint64
+	searches, nodes, wants atomic.Uint64
+	rings                  atomic.Uint64
+}
+
+// AddRun folds one run's counters into the global aggregate.
+func AddRun(s Snapshot) {
+	global.runs.Add(s.Runs)
+	global.events.Add(s.Events)
+	global.searches.Add(s.RingSearches)
+	global.nodes.Add(s.SearchNodesVisited)
+	global.wants.Add(s.SearchWantsChecked)
+	global.rings.Add(s.RingsStarted)
+}
+
+// Current returns the aggregate since process start (or the last Reset).
+func Current() Snapshot {
+	return Snapshot{
+		Runs:               global.runs.Load(),
+		Events:             global.events.Load(),
+		RingSearches:       global.searches.Load(),
+		SearchNodesVisited: global.nodes.Load(),
+		SearchWantsChecked: global.wants.Load(),
+		RingsStarted:       global.rings.Load(),
+	}
+}
+
+// Reset zeroes the aggregate. Tests and report sections use it to scope
+// measurements.
+func Reset() {
+	global.runs.Store(0)
+	global.events.Store(0)
+	global.searches.Store(0)
+	global.nodes.Store(0)
+	global.wants.Store(0)
+	global.rings.Store(0)
+}
+
+// Sub returns s - t field-wise; use it to scope a Snapshot to an interval.
+func (s Snapshot) Sub(t Snapshot) Snapshot {
+	return Snapshot{
+		Runs:               s.Runs - t.Runs,
+		Events:             s.Events - t.Events,
+		RingSearches:       s.RingSearches - t.RingSearches,
+		SearchNodesVisited: s.SearchNodesVisited - t.SearchNodesVisited,
+		SearchWantsChecked: s.SearchWantsChecked - t.SearchWantsChecked,
+		RingsStarted:       s.RingsStarted - t.RingsStarted,
+	}
+}
+
+// Timer scopes a measurement interval: construct with StartTimer before the
+// work, call Report after it.
+type Timer struct {
+	start   time.Time
+	base    Snapshot
+	memBase runtime.MemStats
+}
+
+// StartTimer snapshots the counters, the wall clock, and the allocator.
+func StartTimer() *Timer {
+	t := &Timer{start: time.Now(), base: Current()}
+	runtime.ReadMemStats(&t.memBase)
+	return t
+}
+
+// Report renders a human-readable digest of everything since StartTimer:
+// throughput (events/sec of wall time), search effort, and allocation load.
+func (t *Timer) Report() string {
+	wall := time.Since(t.start).Seconds()
+	s := Current().Sub(t.base)
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	allocBytes := mem.TotalAlloc - t.memBase.TotalAlloc
+	allocObjs := mem.Mallocs - t.memBase.Mallocs
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf: %d run(s) in %.2fs wall\n", s.Runs, wall)
+	fmt.Fprintf(&b, "perf: events     %d (%.0f events/s)\n", s.Events, rate(s.Events, wall))
+	fmt.Fprintf(&b, "perf: searches   %d (%d nodes visited, %d want probes, %d rings started)\n",
+		s.RingSearches, s.SearchNodesVisited, s.SearchWantsChecked, s.RingsStarted)
+	fmt.Fprintf(&b, "perf: alloc      %d objects, %s", allocObjs, bytesHuman(allocBytes))
+	if s.Events > 0 {
+		fmt.Fprintf(&b, " (%.2f objects/event)", float64(allocObjs)/float64(s.Events))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func rate(n uint64, secs float64) float64 {
+	if secs <= 0 {
+		return 0
+	}
+	return float64(n) / secs
+}
+
+func bytesHuman(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

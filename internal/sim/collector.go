@@ -77,6 +77,13 @@ type Result struct {
 	IRQRejected int
 	// LookupFailures counts request attempts that found no holder.
 	LookupFailures int
+
+	// RingSearches counts ring searches executed; SearchNodesVisited and
+	// SearchWantsChecked aggregate their traversal cost (Section V's search
+	// effort concern, surfaced through exchsim -perf).
+	RingSearches       int
+	SearchNodesVisited int
+	SearchWantsChecked int
 }
 
 // MeanDownloadMin returns the mean download time in minutes for the class,
@@ -162,6 +169,10 @@ type collector struct {
 	preemptions  int
 	irqRejected  int
 	lookupFails  int
+
+	ringSearches int
+	searchNodes  int
+	searchWants  int
 }
 
 func newCollector(warmupAt float64) *collector {
@@ -240,6 +251,9 @@ func (c *collector) result(policy string, horizon float64, events uint64, sharin
 		Preemptions:            c.preemptions,
 		IRQRejected:            c.irqRejected,
 		LookupFailures:         c.lookupFails,
+		RingSearches:           c.ringSearches,
+		SearchNodesVisited:     c.searchNodes,
+		SearchWantsChecked:     c.searchWants,
 	}
 	if c.allSessions > 0 {
 		res.ExchangeFraction = float64(c.exchSessions) / float64(c.allSessions)

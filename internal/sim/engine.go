@@ -2,11 +2,13 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"barter/internal/catalog"
 	"barter/internal/core"
 	"barter/internal/eventq"
+	"barter/internal/index"
+	"barter/internal/perfstats"
 	"barter/internal/rng"
 )
 
@@ -19,23 +21,49 @@ import (
 // (before transmitting a request, on receipt of a request, and when learning
 // that a neighbor acquired a wanted object), and any newly feasible exchange
 // reclaims a non-exchange upload slot by preemption.
+//
+// # Determinism contract
+//
+// Equal Configs (including Seed) produce byte-identical results. Everything
+// below serves that contract: the event queue breaks timestamp ties by
+// schedule order, every index iterates in ascending peer-id order (candidate
+// order feeds the RNG draws), and no behavior ever depends on map iteration
+// order, pointer values, or wall-clock time. Performance work must preserve
+// all three properties; see the package tests that pin them.
 type Sim struct {
 	cfg   Config
 	q     *eventq.Queue
 	r     *rng.RNG
 	cat   *catalog.Catalog
 	peers []*peerState
-	// holders maps object -> sorted ids of online sharing peers storing it.
-	holders map[catalog.ObjectID][]core.PeerID
-	// wanters maps object -> sorted ids of peers with a pending download for
-	// it, so evictions can scrub stale provider sets.
-	wanters map[catalog.ObjectID][]core.PeerID
+	// holders indexes object -> online sharing peers storing it; wanters
+	// indexes object -> peers with a pending download for it, so evictions
+	// can scrub stale provider sets. Both iterate in ascending peer-id order,
+	// exactly like the sorted slices they replaced.
+	holders *index.Multimap[catalog.ObjectID, core.PeerID]
+	wanters *index.Multimap[catalog.ObjectID, core.PeerID]
 	graph   core.Graph
 	col     *collector
 
 	ulSlots, dlSlots int
 	sharingPeers     int
 	ran              bool
+
+	// Scratch buffers, reused across events so the hot path stays
+	// allocation-free at steady state. Each is used only within a single
+	// engine call frame that cannot re-enter itself (documented per use).
+	candScratch []core.PeerID
+	objScratch  []catalog.ObjectID
+	sessScratch []*session
+
+	// Free lists for the per-transfer bookkeeping objects. Retired objects
+	// park on the dead lists until reap, which runs at the start of the next
+	// event: within one event, any snapshot of sessions or requests taken
+	// before a termination stays readable.
+	freeSess []*session
+	freeReq  []*request
+	deadSess []*session
+	deadReq  []*request
 }
 
 // New constructs a run, places initial content, and schedules the initial
@@ -58,16 +86,17 @@ func New(cfg Config) (*Sim, error) {
 		q:       eventq.New(),
 		r:       engRNG,
 		cat:     cat,
-		holders: make(map[catalog.ObjectID][]core.PeerID),
-		wanters: make(map[catalog.ObjectID][]core.PeerID),
+		holders: index.NewMultimap[catalog.ObjectID, core.PeerID](),
+		wanters: index.NewMultimap[catalog.ObjectID, core.PeerID](),
 		col:     newCollector(cfg.Duration * cfg.WarmupFrac),
 		ulSlots: cfg.UploadSlots(),
 		dlSlots: cfg.DownloadSlots(),
 	}
 	s.graph = core.Graph{
-		Adj:    s.adjacency,
-		Budget: cfg.SearchBudget,
-		Fanout: cfg.SearchFanout,
+		Adj:     s.adjacency,
+		Budget:  cfg.SearchBudget,
+		Fanout:  cfg.SearchFanout,
+		Scratch: core.NewSearchScratch(cfg.NumPeers),
 	}
 
 	// Population: exactly round(frac*N) free-riders, assigned by random
@@ -159,14 +188,73 @@ func (s *Sim) Run() (*Result, error) {
 			}
 		}
 	}
-	return s.col.result(s.cfg.Policy.String(), s.q.Now(), s.q.Fired(),
-		s.sharingPeers, s.cfg.NumPeers-s.sharingPeers), nil
+	res := s.col.result(s.cfg.Policy.String(), s.q.Now(), s.q.Fired(),
+		s.sharingPeers, s.cfg.NumPeers-s.sharingPeers)
+	perfstats.AddRun(perfstats.Snapshot{
+		Runs:               1,
+		Events:             res.Events,
+		RingSearches:       uint64(res.RingSearches),
+		SearchNodesVisited: uint64(res.SearchNodesVisited),
+		SearchWantsChecked: uint64(res.SearchWantsChecked),
+		RingsStarted:       uint64(res.RingAttempts - res.RingValidationFailures),
+	})
+	return res, nil
 }
 
+// reap recycles the sessions and requests retired during the previous event.
+// It runs at the start of every event (and nowhere else), so within one
+// event any snapshot of live objects taken before a termination remains
+// readable, and a recycled object can never be observed through a stale
+// pointer held by in-flight iteration.
+func (s *Sim) reap() {
+	for i, sess := range s.deadSess {
+		*sess = session{}
+		s.freeSess = append(s.freeSess, sess)
+		s.deadSess[i] = nil
+	}
+	s.deadSess = s.deadSess[:0]
+	for i, req := range s.deadReq {
+		*req = request{}
+		s.freeReq = append(s.freeReq, req)
+		s.deadReq[i] = nil
+	}
+	s.deadReq = s.deadReq[:0]
+}
+
+func (s *Sim) newSession() *session {
+	if n := len(s.freeSess); n > 0 {
+		sess := s.freeSess[n-1]
+		s.freeSess[n-1] = nil
+		s.freeSess = s.freeSess[:n-1]
+		return sess
+	}
+	return &session{}
+}
+
+func (s *Sim) newRequest(requester core.PeerID, obj catalog.ObjectID, arrival float64) *request {
+	var req *request
+	if n := len(s.freeReq); n > 0 {
+		req = s.freeReq[n-1]
+		s.freeReq[n-1] = nil
+		s.freeReq = s.freeReq[:n-1]
+	} else {
+		req = &request{}
+	}
+	req.requester, req.object, req.arrival, req.session = requester, obj, arrival, nil
+	return req
+}
+
+// retireRequest parks a dequeued request for recycling at the next event.
+func (s *Sim) retireRequest(req *request) { s.deadReq = append(s.deadReq, req) }
+
 // after schedules fn; scheduling with non-negative delay cannot fail, so a
-// failure is a programming error worth crashing on.
+// failure is a programming error worth crashing on. Every event entry point
+// reaps the previous event's retirements first.
 func (s *Sim) after(delay float64, fn func(now float64)) {
-	if _, err := s.q.After(delay, eventq.Func(fn)); err != nil {
+	if _, err := s.q.After(delay, eventq.Func(func(now float64) {
+		s.reap()
+		fn(now)
+	})); err != nil {
 		panic(fmt.Sprintf("sim: internal scheduling error: %v", err))
 	}
 }
@@ -194,33 +282,8 @@ func (s *Sim) adjacency(pid core.PeerID) []core.Edge {
 
 // --- holder index -----------------------------------------------------
 
-func indexAdd(idx map[catalog.ObjectID][]core.PeerID, o catalog.ObjectID, id core.PeerID) {
-	hs := idx[o]
-	i := sort.Search(len(hs), func(i int) bool { return hs[i] >= id })
-	if i < len(hs) && hs[i] == id {
-		return
-	}
-	hs = append(hs, 0)
-	copy(hs[i+1:], hs[i:])
-	hs[i] = id
-	idx[o] = hs
-}
-
-func indexRemove(idx map[catalog.ObjectID][]core.PeerID, o catalog.ObjectID, id core.PeerID) {
-	hs := idx[o]
-	i := sort.Search(len(hs), func(i int) bool { return hs[i] >= id })
-	if i < len(hs) && hs[i] == id {
-		hs = append(hs[:i], hs[i+1:]...)
-		if len(hs) == 0 {
-			delete(idx, o)
-			return
-		}
-		idx[o] = hs
-	}
-}
-
-func (s *Sim) addHolder(o catalog.ObjectID, id core.PeerID)    { indexAdd(s.holders, o, id) }
-func (s *Sim) removeHolder(o catalog.ObjectID, id core.PeerID) { indexRemove(s.holders, o, id) }
+func (s *Sim) addHolder(o catalog.ObjectID, id core.PeerID)    { s.holders.Add(o, id) }
+func (s *Sim) removeHolder(o catalog.ObjectID, id core.PeerID) { s.holders.Remove(o, id) }
 
 // --- request issue ------------------------------------------------------
 
@@ -249,12 +312,22 @@ func (s *Sim) attemptRequest(p *peerState) bool {
 		if !ok {
 			return false
 		}
-		var cands []core.PeerID
-		for _, h := range s.holders[obj] {
+		// candScratch is safe here: startDownload consumes it before this
+		// frame can recurse into another attemptRequest (downloads only
+		// complete from block events, never synchronously).
+		cands := s.candScratch[:0]
+		if hs := s.holders.Get(obj); hs != nil {
+			cands = hs.AppendTo(cands)
+		}
+		n := 0
+		for _, h := range cands {
 			if h != p.id && s.peers[h].online {
-				cands = append(cands, h)
+				cands[n] = h
+				n++
 			}
 		}
+		cands = cands[:n]
+		s.candScratch = cands
 		if len(cands) == 0 {
 			s.col.lookupFails++
 			continue
@@ -272,6 +345,7 @@ func (s *Sim) scheduleRetry(p *peerState) {
 		s.q.Cancel(p.retryEv)
 	}
 	h, err := s.q.After(s.cfg.RetryInterval, eventq.Func(func(float64) {
+		s.reap()
 		p.retryEv = eventq.Handle{}
 		s.issueRequests(p)
 	}))
@@ -304,7 +378,7 @@ func (s *Sim) startDownload(p *peerState, obj catalog.ObjectID, cands []core.Pee
 		}
 	}
 	p.addPending(dl)
-	indexAdd(s.wanters, obj, p.id)
+	s.wanters.Add(obj, p.id)
 
 	// "Prior to transmission of a request for object o, the peer inspects
 	// the entire Request Tree to see if any peer provides o."
@@ -319,18 +393,19 @@ func (s *Sim) startDownload(p *peerState, obj catalog.ObjectID, cands []core.Pee
 	}
 }
 
-// sampleSubset returns up to k elements drawn without replacement, in
-// deterministic order derived from the engine RNG.
+// sampleSubset selects up to k elements drawn without replacement, in
+// deterministic order derived from the engine RNG. The selection permutes
+// list in place (callers pass scratch) and draws the same RNG sequence as
+// the historical copy-then-shuffle implementation.
 func (s *Sim) sampleSubset(list []core.PeerID, k int) []core.PeerID {
-	out := append([]core.PeerID(nil), list...)
-	if len(out) <= k {
-		return out
+	if len(list) <= k {
+		return list
 	}
 	for i := 0; i < k; i++ {
-		j := i + s.r.Intn(len(out)-i)
-		out[i], out[j] = out[j], out[i]
+		j := i + s.r.Intn(len(list)-i)
+		list[i], list[j] = list[j], list[i]
 	}
-	return out[:k]
+	return list[:k]
 }
 
 // sendRequest registers p's request at server and runs the receipt-time
@@ -342,8 +417,9 @@ func (s *Sim) sendRequest(p, server *peerState, dl *download) {
 	if server.lookupIRQ(p.id, dl.object) != nil {
 		return // one registered request per (peer, object)
 	}
-	req := &request{requester: p.id, object: dl.object, arrival: s.q.Now()}
+	req := s.newRequest(p.id, dl.object, s.q.Now())
 	if server.addIRQ(req, s.cfg.IRQCapacity) == nil {
+		s.freeReq = append(s.freeReq, req) // never enqueued; recycle at once
 		s.col.irqRejected++
 		return
 	}
@@ -376,13 +452,17 @@ func (s *Sim) tryExchange(root *peerState, wants []core.Want, via *core.Edge) bo
 	}
 	var (
 		ring *core.Ring
+		st   core.SearchStats
 		ok   bool
 	)
 	if via != nil {
-		ring, _, _, ok = s.graph.FindRingVia(root.id, *via, wants, s.cfg.Policy)
+		ring, _, st, ok = s.graph.FindRingVia(root.id, *via, wants, s.cfg.Policy)
 	} else {
-		ring, _, _, ok = s.graph.FindRing(root.id, wants, s.cfg.Policy)
+		ring, _, st, ok = s.graph.FindRing(root.id, wants, s.cfg.Policy)
 	}
+	s.col.ringSearches++
+	s.col.searchNodes += st.NodesVisited
+	s.col.searchWants += st.WantsChecked
 	if !ok {
 		return false
 	}
@@ -483,7 +563,7 @@ func (s *Sim) startRing(ring *core.Ring) {
 			// The ring closes through a provider the root never transmitted
 			// a request to; register the implicit request now (it is served
 			// immediately, bypassing queue capacity).
-			entry = &request{requester: dst.id, object: m.Gives, arrival: now}
+			entry = s.newRequest(dst.id, m.Gives, now)
 			src.irq = append(src.irq, entry)
 			src.irqIndex[irqKey{requester: dst.id, object: m.Gives}] = entry
 			dst.pending[m.Gives].requestedFrom = append(dst.pending[m.Gives].requestedFrom, src.id)
@@ -510,16 +590,16 @@ func (s *Sim) abortRing(rs *ringState) {
 // --- sessions ------------------------------------------------------------
 
 func (s *Sim) startSession(src, dst *peerState, obj catalog.ObjectID, ringSize int, rs *ringState, entry *request) *session {
-	sess := &session{
-		src:      src.id,
-		dst:      dst.id,
-		object:   obj,
-		ringSize: ringSize,
-		ring:     rs,
-		entry:    entry,
-		dl:       dst.pending[obj],
-		startAt:  s.q.Now(),
-	}
+	sess := s.newSession()
+	sess.sim = s
+	sess.src = src.id
+	sess.dst = dst.id
+	sess.object = obj
+	sess.ringSize = ringSize
+	sess.ring = rs
+	sess.entry = entry
+	sess.dl = dst.pending[obj]
+	sess.startAt = s.q.Now()
 	entry.session = sess
 	sess.dl.sessions = append(sess.dl.sessions, sess)
 	src.uploads = append(src.uploads, sess)
@@ -528,10 +608,10 @@ func (s *Sim) startSession(src, dst *peerState, obj catalog.ObjectID, ringSize i
 	return sess
 }
 
+// scheduleBlock arms the session's next block-arrival event. The session is
+// its own eventq.Event, so the per-block hot path allocates nothing.
 func (s *Sim) scheduleBlock(sess *session) {
-	h, err := s.q.After(s.cfg.BlockKbits/s.cfg.SlotKbps, eventq.Func(func(float64) {
-		s.onBlock(sess)
-	}))
+	h, err := s.q.After(s.cfg.BlockKbits/s.cfg.SlotKbps, sess)
 	if err != nil {
 		panic(fmt.Sprintf("sim: internal scheduling error: %v", err))
 	}
@@ -577,6 +657,7 @@ func (s *Sim) terminateSession(sess *session, reschedule bool) {
 		sess.entry.session = nil
 	}
 	s.col.sessionDone(s.q.Now(), sess)
+	s.deadSess = append(s.deadSess, sess)
 	if sess.ring != nil && !sess.ring.dissolved {
 		s.dissolveRing(sess.ring, reschedule)
 	}
@@ -590,12 +671,14 @@ func (s *Sim) dissolveRing(rs *ringState, reschedule bool) {
 		return
 	}
 	rs.dissolved = true
-	members := append([]*session(nil), rs.sessions...)
-	for _, sess := range members {
+	// Iterating rs.sessions directly is safe: terminateSession unlinks a
+	// session from its peers and download but never mutates the ring's own
+	// slice, and retired sessions stay readable until the next event's reap.
+	for _, sess := range rs.sessions {
 		s.terminateSession(sess, false)
 	}
 	if reschedule {
-		for _, sess := range members {
+		for _, sess := range rs.sessions {
 			s.tryServe(s.peers[sess.src])
 		}
 	}
@@ -611,15 +694,22 @@ func (s *Sim) completeDownload(p *peerState, dl *download) {
 	// holding first, so any scheduling triggered by the teardown below sees
 	// a consistent world in which this download is finished.
 	p.removePending(dl.object)
-	indexRemove(s.wanters, dl.object, p.id)
+	s.wanters.Remove(dl.object, p.id)
 	p.store[dl.object] = true
 	if p.sharing {
 		s.addHolder(dl.object, p.id)
 	}
 	for _, srv := range dl.requestedFrom {
-		s.peers[srv].dropIRQ(p.id, dl.object)
+		if req := s.peers[srv].dropIRQ(p.id, dl.object); req != nil {
+			s.retireRequest(req)
+		}
 	}
-	for _, sess := range append([]*session(nil), dl.sessions...) {
+	// Snapshot the feeding sessions before termination mutates dl.sessions
+	// underneath us. sessScratch is free here: its other users (evictFrom,
+	// DisconnectPeer) are never on the stack when a download completes.
+	feeds := append(s.sessScratch[:0], dl.sessions...)
+	s.sessScratch = feeds
+	for _, sess := range feeds {
 		s.terminateSession(sess, true)
 	}
 	if p.sharing {
@@ -632,13 +722,19 @@ func (s *Sim) completeDownload(p *peerState, dl *download) {
 // that p now holds obj, enabling fresh pairwise exchanges ("each peer
 // regularly examines its incoming request queue" in the paper; here the
 // examination is event-driven).
+//
+// Iterating pendingOrder and requestedFrom directly is safe: the exchange
+// attempts below can append to requestedFrom (ring-implicit requests) but
+// nothing on their call path removes a pending download or an entry of
+// requestedFrom, and range evaluates each slice once — appends land beyond
+// the captured length, exactly as with the defensive copies this replaced.
 func (s *Sim) announceNewHolding(p *peerState, obj catalog.ObjectID) {
-	for _, po := range append([]catalog.ObjectID(nil), p.pendingOrder...) {
+	for _, po := range p.pendingOrder {
 		dl := p.pending[po]
 		if dl == nil {
 			continue
 		}
-		for _, srvID := range append([]core.PeerID(nil), dl.requestedFrom...) {
+		for _, srvID := range dl.requestedFrom {
 			srv := s.peers[srvID]
 			if !srv.online {
 				continue
@@ -726,36 +822,53 @@ func (s *Sim) evictionSweep(float64) {
 }
 
 func (s *Sim) evictFrom(p *peerState, excess int) {
-	inExchange := make(map[catalog.ObjectID]bool)
-	for _, up := range p.uploads {
-		if up.ringSize > 1 {
-			inExchange[up.object] = true
-		}
-	}
-	cands := make([]catalog.ObjectID, 0, len(p.store))
+	// Candidates are every stored object not currently given away in an
+	// exchange; the uploads slice is bounded by the slot count, so scanning
+	// it per object beats building a lookup set.
+	cands := s.objScratch[:0]
 	for o := range p.store {
-		if !inExchange[o] {
+		if !p.uploadsInExchange(o) {
 			cands = append(cands, o)
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	s.objScratch = cands
+	// Map iteration order is nondeterministic; sorting before the shuffle
+	// restores the deterministic candidate order the RNG draw depends on.
+	slices.Sort(cands)
 	s.r.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
 	if excess > len(cands) {
 		excess = len(cands)
 	}
 	for _, o := range cands[:excess] {
+		// Re-check exchange use at eviction time, not only at candidate
+		// selection: terminating an upload below reschedules service, which
+		// can start a new exchange ring that gives away an object later in
+		// this candidate list. Evicting it anyway would leave an exchange
+		// session uploading an object the peer no longer stores (a
+		// mutation-during-iteration bug inherited from the seed engine; see
+		// TestEvictionWithActiveUploads). The paper postpones "any object
+		// used in an ongoing exchange", so postpone it here too.
+		if p.uploadsInExchange(o) {
+			continue
+		}
 		delete(p.store, o)
 		if p.sharing {
 			s.removeHolder(o, p.id)
 			// Scrub stale provider knowledge so ring searches stop closing
 			// through a holder that no longer exists.
-			for _, w := range s.wanters[o] {
-				if dl := s.peers[w].pending[o]; dl != nil {
-					delete(dl.providers, p.id)
-				}
+			if ws := s.wanters.Get(o); ws != nil {
+				ws.ForEach(func(w core.PeerID) bool {
+					if dl := s.peers[w].pending[o]; dl != nil {
+						delete(dl.providers, p.id)
+					}
+					return true
+				})
 			}
 		}
-		for _, up := range append([]*session(nil), p.uploads...) {
+		// Snapshot uploads: terminations mutate p.uploads underneath us.
+		ups := append(s.sessScratch[:0], p.uploads...)
+		s.sessScratch = ups
+		for _, up := range ups {
 			if up.object == o && up.ringSize == 1 {
 				s.terminateSession(up, true)
 			}
@@ -776,24 +889,40 @@ func (s *Sim) DisconnectPeer(id core.PeerID) {
 		return
 	}
 	p.online = false
-	for _, sess := range append([]*session(nil), p.uploads...) {
+	// Snapshot both transfer lists: terminations mutate them underneath us,
+	// and a ring dissolution can terminate several of p's sessions at once.
+	ups := append(s.sessScratch[:0], p.uploads...)
+	s.sessScratch = ups
+	for _, sess := range ups {
 		s.terminateSession(sess, true)
 	}
-	for _, sess := range append([]*session(nil), p.downloads...) {
+	downs := append(s.sessScratch[:0], p.downloads...)
+	s.sessScratch = downs
+	for _, sess := range downs {
 		s.terminateSession(sess, true)
 	}
-	// Withdraw our registered requests from other peers' queues.
-	for _, obj := range append([]catalog.ObjectID(nil), p.pendingOrder...) {
+	// Withdraw our registered requests from other peers' queues. The
+	// snapshot is required: removePending mutates pendingOrder in place.
+	objs := append(s.objScratch[:0], p.pendingOrder...)
+	s.objScratch = objs
+	for _, obj := range objs {
 		dl := p.pending[obj]
 		for _, srv := range dl.requestedFrom {
-			s.peers[srv].dropIRQ(p.id, obj)
+			if req := s.peers[srv].dropIRQ(p.id, obj); req != nil {
+				s.retireRequest(req)
+			}
 		}
 		p.removePending(obj)
-		indexRemove(s.wanters, obj, p.id)
+		s.wanters.Remove(obj, p.id)
 	}
-	// Drop our queue; requesters will be served elsewhere or retry.
-	p.irq = nil
-	p.irqIndex = make(map[irqKey]*request)
+	// Drop our queue; requesters will be served elsewhere or retry. Every
+	// entry is unserved by now (the upload terminations above released them).
+	for i, e := range p.irq {
+		s.retireRequest(e)
+		p.irq[i] = nil
+	}
+	p.irq = p.irq[:0]
+	clear(p.irqIndex)
 	if p.sharing {
 		for o := range p.store {
 			s.removeHolder(o, p.id)

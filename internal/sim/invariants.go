@@ -2,19 +2,26 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+	"barter/internal/index"
 )
 
 // CheckInvariants verifies the internal consistency of the whole simulation
 // state. It exists for tests: property and integration tests interleave it
-// with Step to catch bookkeeping corruption as soon as it happens.
+// with Step (and with churn injection) to catch bookkeeping corruption as
+// soon as it happens.
 func (s *Sim) CheckInvariants() error {
 	for _, p := range s.peers {
 		if err := s.checkPeer(p); err != nil {
 			return fmt.Errorf("peer %d: %w", p.id, err)
 		}
 	}
-	return s.checkHolders()
+	if err := s.checkHolders(); err != nil {
+		return err
+	}
+	return s.checkWanters()
 }
 
 func (s *Sim) checkPeer(p *peerState) error {
@@ -29,6 +36,9 @@ func (s *Sim) checkPeer(p *peerState) error {
 	}
 	if len(p.pending) != len(p.pendingOrder) {
 		return fmt.Errorf("pending map (%d) and order (%d) diverged", len(p.pending), len(p.pendingOrder))
+	}
+	if !p.online && (len(p.pending) != 0 || len(p.irq) != 0 || len(p.uploads) != 0 || len(p.downloads) != 0) {
+		return fmt.Errorf("offline peer retains transfer state")
 	}
 	for _, obj := range p.pendingOrder {
 		dl := p.pending[obj]
@@ -99,33 +109,65 @@ func (s *Sim) checkPeer(p *peerState) error {
 	return nil
 }
 
+// checkHolders verifies both directions of the holders index: every indexed
+// (object, peer) entry is an online sharing peer storing the object, and
+// every online sharing peer's stored object is indexed. Ascending iteration
+// order is structural in the bitset index, so unlike the sorted-slice
+// predecessor there is no order to re-verify.
 func (s *Sim) checkHolders() error {
-	for obj, hs := range s.holders {
-		if !sort.SliceIsSorted(hs, func(i, j int) bool { return hs[i] < hs[j] }) {
-			return fmt.Errorf("holders of %d not sorted", obj)
-		}
-		for _, id := range hs {
+	var err error
+	s.holders.ForEachKey(func(obj catalog.ObjectID, hs *index.Set[core.PeerID]) bool {
+		hs.ForEach(func(id core.PeerID) bool {
 			p := s.peers[id]
-			if !p.sharing {
-				return fmt.Errorf("non-sharing peer %d indexed as holder of %d", id, obj)
+			switch {
+			case !p.sharing:
+				err = fmt.Errorf("non-sharing peer %d indexed as holder of %d", id, obj)
+			case !p.online:
+				err = fmt.Errorf("offline peer %d indexed as holder of %d", id, obj)
+			case !p.store[obj]:
+				err = fmt.Errorf("peer %d indexed as holder of %d it does not store", id, obj)
 			}
-			if !p.online {
-				return fmt.Errorf("offline peer %d indexed as holder of %d", id, obj)
-			}
-			if !p.store[obj] {
-				return fmt.Errorf("peer %d indexed as holder of %d it does not store", id, obj)
-			}
-		}
+			return err == nil
+		})
+		return err == nil
+	})
+	if err != nil {
+		return err
 	}
 	for _, p := range s.peers {
 		if !p.sharing || !p.online {
 			continue
 		}
 		for obj := range p.store {
-			hs := s.holders[obj]
-			i := sort.Search(len(hs), func(i int) bool { return hs[i] >= p.id })
-			if i >= len(hs) || hs[i] != p.id {
+			if !s.holders.Contains(obj, p.id) {
 				return fmt.Errorf("sharing peer %d stores %d but is not indexed", p.id, obj)
+			}
+		}
+	}
+	return nil
+}
+
+// checkWanters verifies both directions of the wanters index: every indexed
+// (object, peer) entry corresponds to a live pending download, and every
+// pending download is indexed.
+func (s *Sim) checkWanters() error {
+	var err error
+	s.wanters.ForEachKey(func(obj catalog.ObjectID, ws *index.Set[core.PeerID]) bool {
+		ws.ForEach(func(id core.PeerID) bool {
+			if s.peers[id].pending[obj] == nil {
+				err = fmt.Errorf("peer %d indexed as wanter of %d without a pending download", id, obj)
+			}
+			return err == nil
+		})
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range s.peers {
+		for _, obj := range p.pendingOrder {
+			if !s.wanters.Contains(obj, p.id) {
+				return fmt.Errorf("peer %d pending download of %d not in wanters index", p.id, obj)
 			}
 		}
 	}

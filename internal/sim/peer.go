@@ -43,7 +43,12 @@ type irqKey struct {
 // session is one active transfer: src uploads object to dst at exactly one
 // slot's rate, one block per event. ringSize 1 marks a non-exchange
 // transfer; ringSize >= 2 marks membership in an exchange ring of that size.
+//
+// Sessions come from (and return to) the engine's free list, and a session
+// is its own block-arrival event: the per-block hot path — the single most
+// frequent event in any run — schedules without allocating a closure.
 type session struct {
+	sim      *Sim
 	src, dst core.PeerID
 	object   catalog.ObjectID
 	ringSize int
@@ -54,6 +59,13 @@ type session struct {
 	sent     float64 // kbits delivered so far
 	blockEv  eventq.Handle
 	closed   bool
+}
+
+// Fire implements eventq.Event: one block of the transfer arrives.
+func (sess *session) Fire(float64) {
+	sim := sess.sim
+	sim.reap()
+	sim.onBlock(sess)
 }
 
 // ringState ties the sessions of one exchange ring together: when any
@@ -88,10 +100,26 @@ type peerState struct {
 	retryEv eventq.Handle
 	// adjacency scratch reused across ring searches.
 	adjScratch []core.Edge
+	// wantScratch and want1 back wants()/wantFor(); see those methods for
+	// why reuse is safe.
+	wantScratch []core.Want
+	want1       [1]core.Want
 }
 
 func (p *peerState) hasFreeUploadSlot(slots int) bool   { return len(p.uploads) < slots }
 func (p *peerState) hasFreeDownloadSlot(slots int) bool { return len(p.downloads) < slots }
+
+// uploadsInExchange reports whether any of the peer's exchange uploads
+// carries obj. The uploads slice is bounded by the slot count, so the scan
+// is cheaper than materializing a set.
+func (p *peerState) uploadsInExchange(obj catalog.ObjectID) bool {
+	for _, up := range p.uploads {
+		if up.ringSize > 1 && up.object == obj {
+			return true
+		}
+	}
+	return false
+}
 
 // preemptibleUpload returns the most recently started non-exchange upload,
 // or nil. The paper reclaims non-exchange slots "as soon as another exchange
@@ -135,20 +163,26 @@ func (p *peerState) removePending(obj catalog.ObjectID) {
 }
 
 // wants materializes the peer's current wants for a ring search, in
-// deterministic pending order.
+// deterministic pending order. The returned slice is the peer's reusable
+// scratch: ring searches never retain it (rings copy the object they
+// close on), and no call path builds a second wants slice for the same
+// peer while one is in use.
 func (p *peerState) wants() []core.Want {
-	out := make([]core.Want, 0, len(p.pendingOrder))
+	out := p.wantScratch[:0]
 	for _, obj := range p.pendingOrder {
 		dl := p.pending[obj]
 		out = append(out, core.Want{Object: obj, Providers: dl.providers})
 	}
+	p.wantScratch = out
 	return out
 }
 
 // wantFor materializes a single-want slice for the targeted
-// before-transmission search.
+// before-transmission search, backed by its own one-element scratch so it
+// cannot collide with a wants() slice live on the same stack.
 func (p *peerState) wantFor(dl *download) []core.Want {
-	return []core.Want{{Object: dl.object, Providers: dl.providers}}
+	p.want1[0] = core.Want{Object: dl.object, Providers: dl.providers}
+	return p.want1[:]
 }
 
 // addIRQ appends an entry if capacity allows and no duplicate exists; it
