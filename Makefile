@@ -8,7 +8,7 @@ GO ?= go
 BENCH_JSON ?= BENCH_2.json
 BENCH_RAW  ?= /tmp/barter-bench-raw.txt
 
-.PHONY: build test test-short test-full bench bench-json bench-check fmt vet check
+.PHONY: build test test-short test-full swarm-smoke bench bench-json bench-check fmt vet check
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ test:
 ## test-full: full suite exactly as CI's long job runs it.
 test-full:
 	$(GO) test -count=1 ./...
+
+## swarm-smoke: race-enabled live-network scenarios CI runs on every push —
+## a 120-node flash crowd and a 100-node churn run (60 close/restart cycles)
+## on the in-memory transport, so shutdown and backpressure paths stay
+## exercised outside the unit suite too.
+swarm-smoke:
+	$(GO) run -race ./cmd/exchswarm -scenario flashcrowd -nodes 120 -quick
+	$(GO) run -race ./cmd/exchswarm -scenario churn -nodes 100 -restarts 60 -quick
 
 ## bench: one iteration of every benchmark as a smoke pass.
 bench:

@@ -8,12 +8,16 @@
 //	    -serve 100=./alice.bin -fetch 200=2 -timeout 60s
 //
 // serves object 100 from a local file and downloads object 200 from peer 2,
-// exiting when every fetch completes.
+// exiting when every fetch completes. Without -fetch the node serves until
+// interrupted, or for -duration if one is given. -deadline arms per-I/O
+// read/write deadlines so a hung peer cannot wedge a connection forever.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,47 +26,70 @@ import (
 	"barter"
 )
 
+// errUsage signals a flag-parsing failure whose specifics the FlagSet has
+// already printed to stderr.
+var errUsage = errors.New("invalid arguments")
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "exchnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		id      = flag.Int("id", 1, "peer id")
-		listen  = flag.String("listen", "127.0.0.1:0", "listen address")
-		share   = flag.Bool("share", true, "serve content (false = free-ride)")
-		peers   = flag.String("peers", "", "directory: id=addr,id=addr,...")
-		serve   = flag.String("serve", "", "objects to serve: objID=path,...")
-		fetch   = flag.String("fetch", "", "objects to fetch: objID=peerID,...")
-		slots   = flag.Int("slots", 4, "upload slots")
-		block   = flag.Int("block", 64<<10, "block size in bytes")
-		timeout = flag.Duration("timeout", 120*time.Second, "per-fetch timeout")
-		verbose = flag.Bool("v", false, "log protocol activity")
-	)
-	flag.Parse()
-
+// parseDirectory decodes an "id=addr,id=addr" peer directory.
+func parseDirectory(spec string) (map[barter.PeerID]string, error) {
 	dir := make(map[barter.PeerID]string)
-	if *peers != "" {
-		for _, ent := range strings.Split(*peers, ",") {
-			k, v, ok := strings.Cut(ent, "=")
-			if !ok {
-				return fmt.Errorf("bad -peers entry %q", ent)
-			}
-			pid, err := strconv.Atoi(k)
-			if err != nil {
-				return fmt.Errorf("bad peer id %q: %w", k, err)
-			}
-			dir[barter.PeerID(pid)] = v
+	if spec == "" {
+		return dir, nil
+	}
+	for _, ent := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(ent, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -peers entry %q", ent)
 		}
+		pid, err := strconv.Atoi(k)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %w", k, err)
+		}
+		dir[barter.PeerID(pid)] = v
+	}
+	return dir, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("exchnode", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		id       = fs.Int("id", 1, "peer id")
+		listen   = fs.String("listen", "127.0.0.1:0", "listen address")
+		share    = fs.Bool("share", true, "serve content (false = free-ride)")
+		peers    = fs.String("peers", "", "directory: id=addr,id=addr,...")
+		serve    = fs.String("serve", "", "objects to serve: objID=path,...")
+		fetch    = fs.String("fetch", "", "objects to fetch: objID=peerID,...")
+		slots    = fs.Int("slots", 4, "upload slots")
+		block    = fs.Int("block", 64<<10, "block size in bytes")
+		timeout  = fs.Duration("timeout", 120*time.Second, "per-fetch timeout")
+		duration = fs.Duration("duration", 0, "serve-only mode: exit after this long (0 = run until interrupted)")
+		deadline = fs.Duration("deadline", 0, "per-I/O read/write deadline on TCP connections (0 = none)")
+		verbose  = fs.Bool("v", false, "log protocol activity")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+
+	dir, err := parseDirectory(*peers)
+	if err != nil {
+		return err
 	}
 
 	cfg := barter.NodeConfig{
 		ID:          barter.PeerID(*id),
 		Addr:        *listen,
-		Transport:   barter.NewTCPTransport(),
+		Transport:   barter.NewTCPTransportDeadlines(*deadline, *deadline),
 		Share:       *share,
 		UploadSlots: *slots,
 		BlockSize:   *block,
@@ -73,7 +100,7 @@ func run() error {
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
 	n, err := barter.NewNode(cfg)
@@ -81,7 +108,7 @@ func run() error {
 		return err
 	}
 	defer n.Close()
-	fmt.Printf("peer %d listening on %s (share=%v)\n", *id, n.Addr(), *share)
+	fmt.Fprintf(stdout, "peer %d listening on %s (share=%v)\n", *id, n.Addr(), *share)
 
 	if *serve != "" {
 		for _, ent := range strings.Split(*serve, ",") {
@@ -98,12 +125,16 @@ func run() error {
 				return err
 			}
 			n.AddObject(barter.ObjectID(objID), data)
-			fmt.Printf("serving object %d (%d bytes) from %s\n", objID, len(data), path)
+			fmt.Fprintf(stdout, "serving object %d (%d bytes) from %s\n", objID, len(data), path)
 		}
 	}
 
 	if *fetch == "" {
-		// Serve-only mode: run until interrupted.
+		// Serve-only mode: run until interrupted, or for -duration.
+		if *duration > 0 {
+			time.Sleep(*duration)
+			return nil
+		}
 		select {}
 	}
 	type pending struct {
@@ -135,10 +166,10 @@ func run() error {
 		if err := barter.WaitDownload(f.ch, *timeout); err != nil {
 			return fmt.Errorf("fetch %d: %w", f.obj, err)
 		}
-		fmt.Printf("fetched object %d (%d bytes)\n", f.obj, len(n.Object(f.obj)))
+		fmt.Fprintf(stdout, "fetched object %d (%d bytes)\n", f.obj, len(n.Object(f.obj)))
 	}
 	st := n.Stats()
-	fmt.Printf("done: rings joined %d, exchange blocks sent %d, blocks received %d\n",
+	fmt.Fprintf(stdout, "done: rings joined %d, exchange blocks sent %d, blocks received %d\n",
 		st.RingsJoined, st.ExchangeBlocksSent, st.BlocksReceived)
 	return nil
 }

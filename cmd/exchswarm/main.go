@@ -1,0 +1,117 @@
+// Command exchswarm runs a live-network swarm scenario: hundreds of real
+// peers (plus a trusted mediator) over the in-memory transport or TCP
+// loopback, driven by a declarative workload, reporting the same
+// figure-shaped TSV the simulator emits so live and simulated results sit
+// side by side.
+//
+// Usage:
+//
+//	exchswarm -list
+//	exchswarm -scenario flashcrowd -nodes 300 -quick
+//	exchswarm -scenario freerider -nodes 100 -frac 0.3 -quick
+//	exchswarm -scenario churn -nodes 120 -restarts 100 -quick -v
+//	exchswarm -scenario mixed -nodes 50 -tcp -peers
+//
+// The aggregate TSV mirrors Figure 12's axes (mean download time per peer
+// class vs. fraction of non-sharing peers); -peers appends one row per node
+// with its protocol counters.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"barter"
+)
+
+// errUsage signals a flag-parsing failure whose specifics the FlagSet has
+// already printed to stderr.
+var errUsage = errors.New("invalid arguments")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "exchswarm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("exchswarm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list available scenarios")
+		scenario = fs.String("scenario", "", "scenario to run (see -list)")
+		nodes    = fs.Int("nodes", 100, "number of live peers")
+		quick    = fs.Bool("quick", false, "small objects and pacing: a run takes seconds")
+		seed     = fs.Uint64("seed", 1, "seed for placement, wants, and churn choices")
+		useTCP   = fs.Bool("tcp", false, "TCP loopback (with I/O deadlines) instead of the in-memory transport")
+		frac     = fs.Float64("frac", 0, "fraction of non-sharing peers (freerider/mixed scenarios)")
+		corrupt  = fs.Float64("corrupt", 0, "fraction of corrupt seeds (cheater scenario)")
+		restarts = fs.Int("restarts", 0, "node restarts mid-run (churn scenario)")
+		objSize  = fs.Int("objsize", 0, "object size in bytes (0 = scenario default)")
+		block    = fs.Int("block", 0, "block size in bytes (0 = scenario default)")
+		slots    = fs.Int("slots", 0, "upload slots per sharer (0 = scenario default)")
+		timeout  = fs.Duration("timeout", 0, "run deadline (0 = scenario default)")
+		peers    = fs.Bool("peers", false, "append one TSV row per peer with protocol counters")
+		verbose  = fs.Bool("v", false, "log swarm progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+
+	if *list {
+		for _, sc := range barter.SwarmScenarios() {
+			fmt.Fprintln(stdout, sc)
+		}
+		return nil
+	}
+	if *scenario == "" {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -list or -scenario")
+	}
+
+	cfg := barter.SwarmConfig{
+		Scenario:      barter.SwarmScenario(*scenario),
+		Nodes:         *nodes,
+		Quick:         *quick,
+		Seed:          *seed,
+		TCP:           *useTCP,
+		FreeriderFrac: *frac,
+		CorruptFrac:   *corrupt,
+		Restarts:      *restarts,
+		ObjectSize:    *objSize,
+		BlockSize:     *block,
+		UploadSlots:   *slots,
+		Timeout:       *timeout,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, "swarm: "+format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	res, err := barter.RunSwarm(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, res.TSV())
+	if *peers {
+		fmt.Fprint(stdout, res.PeersTSV())
+	}
+	if *verbose {
+		fmt.Fprintf(stderr, "swarm: %s with %d nodes finished in %s (wall %s)\n",
+			res.Scenario, res.Nodes, res.Elapsed.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("%d of %d downloads failed", res.Failed, res.Wanted)
+	}
+	return nil
+}

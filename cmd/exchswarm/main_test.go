@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListScenarios(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flashcrowd", "mixed", "freerider", "cheater", "churn"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestNoScenarioErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(nil, &out, &errOut); err == nil {
+		t.Fatal("no arguments accepted")
+	}
+}
+
+func TestBadFlagErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-bogus"}, &out, &errOut); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestUnknownScenarioErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-scenario", "nope", "-nodes", "10"}, &out, &errOut); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestQuickFlashCrowd drives a real (small) swarm end to end through the
+// CLI surface: TSV on stdout, progress on stderr, per-peer rows on demand.
+func TestQuickFlashCrowd(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{"-scenario", "flashcrowd", "-nodes", "30", "-quick", "-peers", "-v"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "live/sharing") {
+		t.Fatalf("aggregate TSV missing sharing series:\n%s", got)
+	}
+	if !strings.Contains(got, "peer\tclass\t") {
+		t.Fatalf("-peers rows missing:\n%s", got)
+	}
+	if !strings.Contains(errOut.String(), "finished in") {
+		t.Fatalf("-v progress missing:\n%s", errOut.String())
+	}
+}

@@ -4,42 +4,46 @@
 // digests.
 //
 //	mediatord -listen 127.0.0.1:7100 -registry ./content -block 65536
+//
+// The mediator serves until interrupted, or for -duration if one is given.
 package main
 
 import (
 	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"barter"
 )
 
+// errUsage signals a flag-parsing failure whose specifics the FlagSet has
+// already printed to stderr.
+var errUsage = errors.New("invalid arguments")
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "mediatord:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		listen   = flag.String("listen", "127.0.0.1:7100", "listen address")
-		registry = flag.String("registry", "", "directory of <objectID>.bin content files")
-		block    = flag.Int("block", 64<<10, "block size in bytes (must match the peers')")
-	)
-	flag.Parse()
-	if *registry == "" {
-		return fmt.Errorf("-registry is required (the mediator needs a trusted digest source)")
+// loadRegistry digests every <objectID>.bin file in dir at the given block
+// size; other files are ignored.
+func loadRegistry(dir string, block int) (map[barter.ObjectID][][32]byte, error) {
+	if block <= 0 {
+		return nil, fmt.Errorf("block size must be positive, got %d", block)
 	}
-
 	digests := make(map[barter.ObjectID][][32]byte)
-	entries, err := os.ReadDir(*registry)
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, ent := range entries {
 		name := ent.Name()
@@ -50,20 +54,45 @@ func run() error {
 		if err != nil {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(*registry, name))
+		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		var digs [][32]byte
-		for off := 0; off < len(data); off += *block {
-			end := off + *block
-			if end > len(data) {
-				end = len(data)
-			}
+		for off := 0; off < len(data); off += block {
+			end := min(off+block, len(data))
 			digs = append(digs, sha256.Sum256(data[off:end]))
 		}
 		digests[barter.ObjectID(objID)] = digs
-		fmt.Printf("registered object %d: %d blocks\n", objID, len(digs))
+	}
+	return digests, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mediatord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:7100", "listen address")
+		registry = fs.String("registry", "", "directory of <objectID>.bin content files")
+		block    = fs.Int("block", 64<<10, "block size in bytes (must match the peers')")
+		duration = fs.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+	if *registry == "" {
+		return fmt.Errorf("-registry is required (the mediator needs a trusted digest source)")
+	}
+
+	digests, err := loadRegistry(*registry, *block)
+	if err != nil {
+		return err
+	}
+	for objID, digs := range digests {
+		fmt.Fprintf(stdout, "registered object %d: %d blocks\n", objID, len(digs))
 	}
 
 	med, err := barter.NewMediator(barter.NewTCPTransport(), *listen, func(o barter.ObjectID) ([][32]byte, bool) {
@@ -74,6 +103,10 @@ func run() error {
 		return err
 	}
 	defer med.Close()
-	fmt.Printf("mediator listening on %s with %d registered objects\n", med.Addr(), len(digests))
+	fmt.Fprintf(stdout, "mediator listening on %s with %d registered objects\n", med.Addr(), len(digests))
+	if *duration > 0 {
+		time.Sleep(*duration)
+		return nil
+	}
 	select {}
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBadFlagErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-bogus"}, &out, &errOut); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRegistryRequired(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(nil, &out, &errOut); err == nil {
+		t.Fatal("missing -registry accepted")
+	}
+}
+
+func TestRegistryMissingDirErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-registry", "/does/not/exist"}, &out, &errOut); err == nil {
+		t.Fatal("nonexistent registry accepted")
+	}
+}
+
+func TestLoadRegistry(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "7.bin"), make([]byte, 2500), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Ignored: wrong suffix, non-numeric name.
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "abc.bin"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	digests, err := loadRegistry(dir, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(digests) != 1 {
+		t.Fatalf("registered %d objects, want 1", len(digests))
+	}
+	if got := len(digests[7]); got != 3 { // 2500 bytes / 1000 per block
+		t.Fatalf("object 7 has %d blocks, want 3", got)
+	}
+	if _, err := loadRegistry(dir, 0); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+}
+
+// TestServeDuration boots a real mediator from a registry over TCP and
+// exits after -duration.
+func TestServeDuration(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "42.bin"), make([]byte, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	err := run([]string{
+		"-listen", "127.0.0.1:0",
+		"-registry", dir,
+		"-block", "1024",
+		"-duration", "50ms",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "registered object 42: 4 blocks") {
+		t.Fatalf("output:\n%s", got)
+	}
+	if !strings.Contains(got, "mediator listening on 127.0.0.1:") {
+		t.Fatalf("output:\n%s", got)
+	}
+}

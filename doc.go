@@ -15,7 +15,8 @@
 //   - A live, concurrent peer implementation of the protocol over in-memory
 //     or TCP transports, including the trusted-mediator defense against
 //     middleman cheating (Section III-B), exposed through NewNode and
-//     NewMediator.
+//     NewMediator — plus a swarm harness (RunSwarm, cmd/exchswarm) that
+//     runs hundreds of live peers through declarative scenarios.
 //
 // Experiments enumerate their parameter grids declaratively and execute
 // them through RunGrid, a bounded worker pool over independent simulation
@@ -43,8 +44,23 @@
 // regenerates, gates (>15% event-rate regression fails), and archives on
 // every push.
 //
+// The live stack scales past unit scenarios through the swarm harness
+// (internal/swarm): RunSwarm launches N real nodes plus a mediator over the
+// in-memory transport or TCP loopback (with configurable per-I/O deadlines)
+// and drives a declarative scenario — flash crowd, steady mixed workload,
+// free-rider fraction, mediator-audited cheaters, or churn that closes and
+// restarts nodes mid-run hundreds of times. Results aggregate every node's
+// Stats into the simulator's figure-shaped TSV (mean download seconds per
+// "live/<class>" series keyed by the free-rider fraction), so the live
+// network reproduces Figure 12's sharing vs non-sharing gap side by side
+// with exchsim output. Shutdown is graceful end to end: nodes track every
+// connection from the moment it is accepted or dialed, Close unblocks all
+// readers and writers and fails pending Download waiters with
+// ErrNodeClosed, and the mediator tears down idle client connections
+// instead of waiting on them forever.
+//
 // The examples directory demonstrates all three layers; cmd/exchsim
 // regenerates the paper's figures from the command line (-parallel bounds
 // the pool, -replicas turns on replication, -perf reports engine
-// performance).
+// performance); cmd/exchswarm runs the live-network scenarios.
 package barter

@@ -1,0 +1,53 @@
+// Swarm runs two live-network scenarios back to back through the public
+// barter.RunSwarm entry point: a flash crowd (one object, everyone fetches
+// at once, completed sharers spread it epidemically) and a free-rider
+// population (the live counterpart of the paper's Figure 12 — sharers,
+// served with exchange priority, complete faster than free-riders).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"barter"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "swarm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Flash crowd: 150 live peers fetch one object from a few seeds.")
+	res, err := barter.RunSwarm(barter.SwarmConfig{
+		Scenario: barter.SwarmFlashCrowd,
+		Nodes:    150,
+		Quick:    true,
+		Seed:     42,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.TSV())
+
+	fmt.Println()
+	fmt.Println("Free-riders: 60 peers, 30% contribute nothing; watch the class gap.")
+	res, err = barter.RunSwarm(barter.SwarmConfig{
+		Scenario:      barter.SwarmFreerider,
+		Nodes:         60,
+		FreeriderFrac: 0.3,
+		Quick:         true,
+		Seed:          42,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.TSV())
+	sharing, _ := res.ClassMean("sharing")
+	riding, _ := res.ClassMean("non-sharing")
+	fmt.Printf("\nsharers averaged %v per download, free-riders %v — the exchange\n", sharing.Round(0), riding.Round(0))
+	fmt.Println("mechanism's incentive gap, reproduced on live connections.")
+	return nil
+}

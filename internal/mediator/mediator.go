@@ -93,6 +93,13 @@ type Mediator struct {
 	deposits map[depositKey][16]byte
 	flagged  map[core.PeerID]int // peers caught cheating, with counts
 
+	// connMu guards the open-connection set so Close can tear down every
+	// serve goroutine: a blocked Recv on an idle client would otherwise keep
+	// wg.Wait from ever returning.
+	connMu  sync.Mutex
+	conns   map[transport.Conn]struct{}
+	closing bool
+
 	wg   sync.WaitGroup
 	stop chan struct{}
 }
@@ -116,6 +123,7 @@ func New(tr transport.Transport, addr string, oracle DigestOracle) (*Mediator, e
 		ln:       ln,
 		deposits: make(map[depositKey][16]byte),
 		flagged:  make(map[core.PeerID]int),
+		conns:    make(map[transport.Conn]struct{}),
 		stop:     make(chan struct{}),
 	}
 	m.wg.Add(1)
@@ -126,7 +134,8 @@ func New(tr transport.Transport, addr string, oracle DigestOracle) (*Mediator, e
 // Addr returns the mediator's dialable address.
 func (m *Mediator) Addr() string { return m.ln.Addr() }
 
-// Close stops the mediator.
+// Close stops the mediator: it stops accepting, closes every open client
+// connection (unblocking their serve goroutines), and waits for them.
 func (m *Mediator) Close() {
 	select {
 	case <-m.stop:
@@ -135,7 +144,35 @@ func (m *Mediator) Close() {
 	}
 	close(m.stop)
 	_ = m.ln.Close()
+	m.connMu.Lock()
+	m.closing = true
+	open := make([]transport.Conn, 0, len(m.conns))
+	for c := range m.conns {
+		open = append(open, c)
+	}
+	m.connMu.Unlock()
+	for _, c := range open {
+		_ = c.Close()
+	}
 	m.wg.Wait()
+}
+
+// track registers an open connection; it refuses once Close has begun so a
+// connection accepted during teardown cannot outlive wg.Wait.
+func (m *Mediator) track(c transport.Conn) bool {
+	m.connMu.Lock()
+	defer m.connMu.Unlock()
+	if m.closing {
+		return false
+	}
+	m.conns[c] = struct{}{}
+	return true
+}
+
+func (m *Mediator) untrack(c transport.Conn) {
+	m.connMu.Lock()
+	delete(m.conns, c)
+	m.connMu.Unlock()
 }
 
 // Flagged returns how many times a peer failed an audit.
@@ -152,6 +189,10 @@ func (m *Mediator) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if !m.track(conn) {
+			_ = conn.Close()
+			return
+		}
 		m.wg.Add(1)
 		go m.serve(conn)
 	}
@@ -159,6 +200,7 @@ func (m *Mediator) acceptLoop() {
 
 func (m *Mediator) serve(conn transport.Conn) {
 	defer m.wg.Done()
+	defer m.untrack(conn)
 	defer conn.Close() //nolint:errcheck // teardown
 	for {
 		msg, err := conn.Recv()

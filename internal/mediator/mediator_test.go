@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"errors"
+	"sync"
 	"testing"
+	"time"
 
 	"barter/internal/catalog"
 	"barter/internal/core"
@@ -302,4 +304,92 @@ func TestMediatorCloseIdempotent(t *testing.T) {
 	_, med, _, _ := fixture(t)
 	med.Close()
 	med.Close()
+}
+
+// TestMediatorCloseWithIdleClient is the regression test for the shutdown
+// hang: a connected client that never sends anything used to park a serve
+// goroutine in Recv forever, so Close's wg.Wait never returned.
+func TestMediatorCloseWithIdleClient(t *testing.T) {
+	tr, med, _, _ := fixture(t)
+	idle, err := Dial(tr, "mem://mediator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	// Let the mediator accept the connection and park in Recv.
+	probe, err := Dial(tr, "mem://mediator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer probe.Close()
+	if err := probe.Deposit(1, 1, 42, [16]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		med.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Mediator.Close hung on an idle client connection")
+	}
+}
+
+// TestMediatorManyConcurrentClients exercises accept/serve/teardown under a
+// crowd: dozens of clients deposit and verify at once, then Close must still
+// return promptly with half of them left connected and idle.
+func TestMediatorManyConcurrentClients(t *testing.T) {
+	tr, med, obj, blocks := fixture(t)
+	const clients = 40
+	var wg sync.WaitGroup
+	idle := make([]*Client, 0, clients/2)
+	var idleMu sync.Mutex
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(tr, "mem://mediator")
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			var key [16]byte
+			key[0] = byte(i + 1)
+			ex := uint64(1000 + i)
+			sender := core.PeerID(i + 1)
+			if err := c.Deposit(ex, sender, obj, key); err != nil {
+				t.Errorf("client %d deposit: %v", i, err)
+				c.Close()
+				return
+			}
+			if i%2 == 0 {
+				sealed := sealAll(t, key, sender, sender+1, obj, blocks)
+				if _, err := c.Verify(ex, sender+1, sender, obj, sealed[:1]); err != nil {
+					t.Errorf("client %d verify: %v", i, err)
+				}
+				c.Close()
+				return
+			}
+			idleMu.Lock()
+			idle = append(idle, c) // stays connected, never speaks again
+			idleMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		med.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Mediator.Close hung with idle clients connected")
+	}
+	for _, c := range idle {
+		c.Close()
+	}
 }

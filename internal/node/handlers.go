@@ -13,18 +13,12 @@ import (
 
 // Everything in this file runs on the node's event loop.
 
-const (
-	// ringPendingTTL ages out stuck ring negotiations, in ticks.
-	ringPendingTTL = 20
-	// sendQueueSize bounds a connection's outbound queue; overflowing it
-	// counts as a dead connection.
-	sendQueueSize = 1024
-)
+// ringPendingTTL ages out stuck ring negotiations, in ticks.
+const ringPendingTTL = 20
 
 // --- connections ------------------------------------------------------------
 
 func (n *Node) registerConn(hello protocol.Hello, conn transport.Conn) {
-	n.allConns = append(n.allConns, conn)
 	if old, ok := n.conns[hello.Peer]; ok {
 		if old.conn == conn {
 			old.sharing = hello.Sharing
@@ -40,9 +34,10 @@ func (n *Node) registerConn(hello protocol.Hello, conn transport.Conn) {
 		}
 	}
 	pc := &peerConn{
+		n:       n,
 		id:      hello.Peer,
 		conn:    conn,
-		sendQ:   make(chan protocol.Message, sendQueueSize),
+		sendQ:   make(chan protocol.Message, n.cfg.SendQueue),
 		sharing: hello.Sharing,
 	}
 	n.conns[hello.Peer] = pc
@@ -95,8 +90,11 @@ func (n *Node) getConn(peer core.PeerID, addrHint string) *peerConn {
 		n.logf("dial %d at %s: %v", peer, addr, err)
 		return nil
 	}
-	n.allConns = append(n.allConns, conn)
-	pc := &peerConn{id: peer, conn: conn, sendQ: make(chan protocol.Message, sendQueueSize)}
+	if !n.track(conn) {
+		_ = conn.Close() // node is shutting down
+		return nil
+	}
+	pc := &peerConn{n: n, id: peer, conn: conn, sendQ: make(chan protocol.Message, n.cfg.SendQueue)}
 	n.conns[peer] = pc
 	n.wg.Add(2)
 	go n.readLoop(conn, peer)
@@ -105,12 +103,15 @@ func (n *Node) getConn(peer core.PeerID, addrHint string) *peerConn {
 	return pc
 }
 
-// send enqueues without blocking the event loop; a full queue counts as a
-// dead connection.
+// send enqueues without blocking the event loop. The queue is bounded
+// (Config.SendQueue); the writer goroutine drains it against the transport's
+// own backpressure, so an overflow means the peer has stopped consuming and
+// the connection is treated as dead rather than buffered without limit.
 func (pc *peerConn) send(msg protocol.Message) {
 	select {
 	case pc.sendQ <- msg:
 	default:
+		pc.n.stats.SendOverflows++
 		_ = pc.conn.Close()
 	}
 }

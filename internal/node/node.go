@@ -28,6 +28,10 @@ import (
 // exhausted without progress.
 var ErrNoSource = errors.New("node: no provider could serve the object")
 
+// ErrNodeClosed is surfaced to Download waiters whose node shut down before
+// the transfer completed (a churned peer, or an orderly exit mid-download).
+var ErrNodeClosed = errors.New("node: closed")
+
 // Config configures a live peer.
 type Config struct {
 	// ID is the peer's identity. Addr is the listen address (transport
@@ -65,6 +69,11 @@ type Config struct {
 	// and sending the next. Zero sends immediately. It models the paper's
 	// fixed-rate transfer slots in wall-clock time.
 	BlockDelay time.Duration
+	// SendQueue bounds each connection's outbound message queue (default
+	// 1024). The writer goroutine drains it against the transport's own
+	// backpressure; overflowing it counts as a dead connection and is
+	// recorded in Stats.SendOverflows.
+	SendQueue int
 	// TrustedDigests, when set, overrides manifest digests as the block
 	// validation source ("a trustworthy source of information for the
 	// actual valid checksums", Section III-B).
@@ -104,6 +113,9 @@ func (c *Config) fillDefaults() error {
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 4
 	}
+	if c.SendQueue <= 0 {
+		c.SendQueue = 1024
+	}
 	if c.Lookup == nil {
 		c.Lookup = func(core.PeerID) (string, bool) { return "", false }
 	}
@@ -122,6 +134,7 @@ type Stats struct {
 	Preemptions        int
 	ObjectsCompleted   int
 	RequestsServed     int
+	SendOverflows      int
 }
 
 // Node is a live peer. Create with New, stop with Close.
@@ -134,6 +147,23 @@ type Node struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 
+	// postMu seals the events channel during Close: enqueues hold the read
+	// side, Close takes the write side after the loop exits, so every event
+	// that post accepted is either run by the loop or by Close's drain —
+	// never silently dropped with a waiter attached.
+	postMu  sync.RWMutex
+	stopped bool
+
+	// connMu guards the tracked-connection set. Every connection — inbound
+	// ones the moment they are accepted (before any Hello identifies the
+	// peer) and outbound ones the moment they are dialed — is registered
+	// here so Close can unblock every reader and writer. Tracking through
+	// the event loop instead would leave a window where an accepted
+	// connection's reader blocks in Recv with nobody able to close it.
+	connMu  sync.Mutex
+	tracked map[transport.Conn]struct{}
+	closing bool
+
 	// Everything below is owned by the event loop.
 	store     map[catalog.ObjectID][]byte
 	digests   map[catalog.ObjectID][][32]byte
@@ -141,7 +171,6 @@ type Node struct {
 	irq       []*irqEntry
 	uploads   map[upKey]*upload
 	conns     map[core.PeerID]*peerConn
-	allConns  []transport.Conn
 	rings     map[uint64]*ringInfo
 	ringSeq   uint64
 	stats     Stats
@@ -194,6 +223,7 @@ type ringInfo struct {
 }
 
 type peerConn struct {
+	n       *Node
 	id      core.PeerID
 	conn    transport.Conn
 	sendQ   chan protocol.Message
@@ -215,6 +245,7 @@ func New(cfg Config) (*Node, error) {
 		events:    make(chan func(), 256),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
+		tracked:   make(map[transport.Conn]struct{}),
 		store:     make(map[catalog.ObjectID][]byte),
 		digests:   make(map[catalog.ObjectID][][32]byte),
 		downloads: make(map[catalog.ObjectID]*download),
@@ -234,7 +265,9 @@ func (n *Node) Addr() string { return n.ln.Addr() }
 // ID returns the peer id.
 func (n *Node) ID() core.PeerID { return n.cfg.ID }
 
-// Close stops the node and waits for its goroutines.
+// Close stops the node and waits for its goroutines: it stops accepting,
+// closes every tracked connection (unblocking readers and writers), lets the
+// event loop fail pending download waiters, and joins everything.
 func (n *Node) Close() {
 	select {
 	case <-n.stop:
@@ -243,15 +276,81 @@ func (n *Node) Close() {
 	}
 	close(n.stop)
 	_ = n.ln.Close()
+	n.connMu.Lock()
+	n.closing = true
+	open := make([]transport.Conn, 0, len(n.tracked))
+	for c := range n.tracked {
+		open = append(open, c)
+	}
+	n.connMu.Unlock()
+	for _, c := range open {
+		_ = c.Close()
+	}
 	<-n.done
+	// The loop has exited; seal the queue so no further post can enqueue,
+	// then run whatever it accepted before the seal (a racing Download may
+	// have registered a waiter), and fail every pending download. State is
+	// exclusively ours now: the loop is gone and readers only post.
+	n.postMu.Lock()
+	n.stopped = true
+	n.postMu.Unlock()
+	for {
+		select {
+		case fn := <-n.events:
+			fn()
+			continue
+		default:
+		}
+		break
+	}
+	for _, dl := range n.downloads {
+		for _, ch := range dl.waiters {
+			ch <- fmt.Errorf("%w: object %d incomplete", ErrNodeClosed, dl.object)
+		}
+		dl.waiters = nil
+	}
 	n.wg.Wait()
 }
 
-// post schedules fn on the event loop; it is a no-op after Close.
-func (n *Node) post(fn func()) {
+// Done is closed when the node has fully shut down; select on it alongside
+// Download channels to avoid waiting out a timeout on a closed peer.
+func (n *Node) Done() <-chan struct{} { return n.done }
+
+// track registers a connection for teardown; it refuses once Close has
+// begun, so no connection can slip past the close sweep.
+func (n *Node) track(c transport.Conn) bool {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if n.closing {
+		return false
+	}
+	n.tracked[c] = struct{}{}
+	return true
+}
+
+func (n *Node) untrack(c transport.Conn) {
+	n.connMu.Lock()
+	delete(n.tracked, c)
+	n.connMu.Unlock()
+}
+
+// post schedules fn on the event loop and reports whether it was enqueued;
+// once Close has sealed the queue it drops the event and returns false.
+// Accepted events are guaranteed to run: by the loop normally, or by Close's
+// drain during teardown.
+func (n *Node) post(fn func()) bool {
+	n.postMu.RLock()
+	defer n.postMu.RUnlock()
+	if n.stopped {
+		return false
+	}
+	// With stop closed this select cannot block even on a full queue, so
+	// holding the read lock here never stalls Close's write lock.
 	select {
 	case n.events <- fn:
+		return true
 	case <-n.stop:
+		return false
 	}
 }
 
@@ -319,16 +418,23 @@ func (n *Node) Stats() Stats {
 // download proceeds in the background; exchanges may accelerate it.
 func (n *Node) Download(obj catalog.ObjectID, providers map[core.PeerID]string) <-chan error {
 	ch := make(chan error, 1)
-	n.post(func() { n.startDownload(obj, providers, ch) })
+	if !n.post(func() { n.startDownload(obj, providers, ch) }) {
+		ch <- ErrNodeClosed
+	}
 	return ch
 }
 
 // WaitFor blocks until the download channel yields or the timeout expires.
+// The timer is stopped on the fast path: time.After would leak one running
+// timer per call until it fires, which at swarm scale is thousands of stale
+// timers.
 func WaitFor(ch <-chan error, timeout time.Duration) error {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case err := <-ch:
 		return err
-	case <-time.After(timeout):
+	case <-t.C:
 		return errors.New("node: download timed out")
 	}
 }
@@ -357,6 +463,10 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if !n.track(conn) {
+			_ = conn.Close()
+			return
+		}
 		n.wg.Add(1)
 		go n.readLoopUnknown(conn)
 	}
@@ -376,6 +486,7 @@ func (n *Node) readLoop(conn transport.Conn, expected core.PeerID) {
 // serveConn pumps one connection into the event loop.
 func (n *Node) serveConn(conn transport.Conn, peer core.PeerID, known bool) {
 	defer n.wg.Done()
+	defer n.untrack(conn)
 	defer conn.Close() //nolint:errcheck // teardown
 	for {
 		msg, err := conn.Recv()
@@ -426,9 +537,8 @@ func (n *Node) loop() {
 		case <-ticker.C:
 			n.onTick()
 		case <-n.stop:
-			for _, c := range n.allConns {
-				_ = c.Close()
-			}
+			// Close finishes the teardown: it drains remaining events and
+			// fails pending download waiters once the queue is sealed.
 			return
 		}
 	}

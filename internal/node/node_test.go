@@ -3,6 +3,7 @@ package node
 import (
 	"bytes"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -394,6 +395,59 @@ func TestCloseIdempotent(t *testing.T) {
 	n := tn.spawn(1, nil)
 	n.Close()
 	n.Close() // must not panic or hang
+}
+
+// TestCloseWithIdleInboundConn: a dialer that connects but never sends a
+// Hello used to park a reader goroutine the node could not unblock — the
+// connection was only tracked once its Hello registered it. Close must
+// return regardless.
+func TestCloseWithIdleInboundConn(t *testing.T) {
+	tn := newTestNet(t)
+	n := tn.spawn(1, nil)
+	conn, err := tn.tr.Dial(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()                //nolint:errcheck // test cleanup
+	time.Sleep(20 * time.Millisecond) // let the acceptor pick it up
+
+	done := make(chan struct{})
+	go func() {
+		n.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Node.Close hung on an idle inbound connection")
+	}
+}
+
+// TestCloseFailsPendingDownloads: waiters of an in-flight download observe
+// ErrNodeClosed promptly instead of waiting out their timeout.
+func TestCloseFailsPendingDownloads(t *testing.T) {
+	tn := newTestNet(t)
+	server := tn.spawn(1, func(c *Config) { c.BlockDelay = 5 * time.Millisecond })
+	client := tn.spawn(2, nil)
+	obj := catalog.ObjectID(10)
+	server.AddObject(obj, payload(obj, 500_000))
+
+	ch := client.Download(obj, map[core.PeerID]string{1: tn.addrOf(1)})
+	time.Sleep(20 * time.Millisecond) // transfer under way
+	client.Close()
+	select {
+	case err := <-ch:
+		if !errors.Is(err, ErrNodeClosed) {
+			t.Fatalf("waiter got %v, want ErrNodeClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never notified after Close")
+	}
+
+	// And a Download issued after Close fails immediately.
+	if err := <-client.Download(obj, nil); !errors.Is(err, ErrNodeClosed) {
+		t.Fatalf("post-Close Download got %v, want ErrNodeClosed", err)
+	}
 }
 
 func TestSplitBlocks(t *testing.T) {

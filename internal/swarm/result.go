@@ -1,0 +1,161 @@
+package swarm
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"barter/internal/core"
+	"barter/internal/metrics"
+	"barter/internal/node"
+)
+
+// PeerResult is one node's outcome: its workload bookkeeping plus the live
+// node's own protocol counters.
+type PeerResult struct {
+	ID        core.PeerID
+	Class     string
+	Restarts  int
+	Wanted    int
+	Completed int
+	Failed    int
+	// Attempts counts Download issuances across retries: above Wanted it
+	// measures how often churn or source exhaustion forced a re-issue.
+	Attempts int
+	// MeanCompletion averages this peer's completed download times
+	// (zero with no completions).
+	MeanCompletion time.Duration
+	Stats          node.Stats
+}
+
+// Result aggregates one swarm run.
+type Result struct {
+	Scenario      Scenario
+	Nodes         int
+	Objects       int
+	FreeriderFrac float64
+	Elapsed       time.Duration
+	Peers         []PeerResult
+	// Wanted/Completed/Failed total the per-peer counts; Restarts totals
+	// churn cycles; Flagged counts cheaters the mediator caught.
+	Wanted    int
+	Completed int
+	Failed    int
+	Restarts  int
+	Flagged   int
+}
+
+// ClassMean returns the mean completion time over every finished download
+// of the given class, and how many downloads that covers.
+func (r *Result) ClassMean(class string) (time.Duration, int) {
+	var sum time.Duration
+	n := 0
+	for i := range r.Peers {
+		p := &r.Peers[i]
+		if p.Class != class || p.Completed == 0 {
+			continue
+		}
+		sum += p.MeanCompletion * time.Duration(p.Completed)
+		n += p.Completed
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / time.Duration(n), n
+}
+
+// Table renders the run as the figure-shaped aggregate the simulator emits:
+// mean completion time per peer class, keyed by the free-rider fraction —
+// the live counterpart of Figure 12's x-axis. Scenarios without a
+// non-sharing class still emit their classes at x = 0.
+func (r *Result) Table() *metrics.Table {
+	t := &metrics.Table{
+		Title:  fmt.Sprintf("swarm %s: %d live nodes", r.Scenario, r.Nodes),
+		XLabel: "fraction of non-sharing peers",
+		YLabel: "mean download time (seconds)",
+	}
+	for _, class := range []string{ClassSharing, ClassNonSharing, ClassCorrupt} {
+		if mean, n := r.ClassMean(class); n > 0 {
+			t.Append("live/"+class, r.FreeriderFrac, mean.Seconds())
+		}
+	}
+	return t
+}
+
+// TSV renders the figure table plus a comment block of run-level counters
+// (the same comment-prefixed style exchsim reports carry).
+func (r *Result) TSV() string {
+	var b strings.Builder
+	b.WriteString(r.Table().TSV())
+	fmt.Fprintf(&b, "# scenario=%s nodes=%d objects=%d elapsed=%s\n",
+		r.Scenario, r.Nodes, r.Objects, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "# downloads: wanted=%d completed=%d failed=%d\n", r.Wanted, r.Completed, r.Failed)
+	if r.Restarts > 0 {
+		fmt.Fprintf(&b, "# churn: restarts=%d\n", r.Restarts)
+	}
+	if r.Flagged > 0 {
+		fmt.Fprintf(&b, "# mediator: flagged=%d cheaters\n", r.Flagged)
+	}
+	return b.String()
+}
+
+// PeersTSV renders one row per peer: workload outcome and protocol
+// counters, for digging into a run beyond the aggregate.
+func (r *Result) PeersTSV() string {
+	var b strings.Builder
+	b.WriteString("peer\tclass\twanted\tcompleted\tfailed\tattempts\tmean_s\trestarts\tblocks_sent\tblocks_recv\tblocks_rej\texch_blocks\trings\tpreempt\tserved\toverflows\n")
+	for i := range r.Peers {
+		p := &r.Peers[i]
+		fmt.Fprintf(&b, "%d\t%s\t%d\t%d\t%d\t%d\t%.3f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			p.ID, p.Class, p.Wanted, p.Completed, p.Failed, p.Attempts, p.MeanCompletion.Seconds(), p.Restarts,
+			p.Stats.BlocksSent, p.Stats.BlocksReceived, p.Stats.BlocksRejected,
+			p.Stats.ExchangeBlocksSent, p.Stats.RingsJoined, p.Stats.Preemptions,
+			p.Stats.RequestsServed, p.Stats.SendOverflows)
+	}
+	return b.String()
+}
+
+// collect snapshots every peer into a Result. Called after all waiters have
+// settled and before teardown, so node Stats are still reachable.
+func (s *swarmRun) collect(elapsed time.Duration, flagged int) *Result {
+	res := &Result{
+		Scenario:      s.cfg.Scenario,
+		Nodes:         len(s.peers),
+		Objects:       s.cfg.Objects,
+		FreeriderFrac: s.cfg.FreeriderFrac,
+		Elapsed:       elapsed,
+		Flagged:       flagged,
+	}
+	for _, p := range s.peers {
+		pr := PeerResult{ID: p.id, Class: p.class}
+		p.mu.Lock()
+		pr.Restarts = p.restarts
+		nd := p.node
+		p.mu.Unlock()
+		var sum time.Duration
+		for _, w := range p.wants {
+			w.mu.Lock()
+			pr.Wanted++
+			pr.Attempts += w.attempts
+			if w.done {
+				pr.Completed++
+				sum += w.elapsed
+			} else if w.failed {
+				pr.Failed++
+			}
+			w.mu.Unlock()
+		}
+		if pr.Completed > 0 {
+			pr.MeanCompletion = sum / time.Duration(pr.Completed)
+		}
+		if nd != nil {
+			pr.Stats = nd.Stats()
+		}
+		res.Peers = append(res.Peers, pr)
+		res.Wanted += pr.Wanted
+		res.Completed += pr.Completed
+		res.Failed += pr.Failed
+		res.Restarts += pr.Restarts
+	}
+	return res
+}

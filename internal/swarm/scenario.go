@@ -1,0 +1,200 @@
+package swarm
+
+import (
+	"fmt"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+)
+
+// buildWorld assigns classes, places content, derives wants, and spawns
+// every node for the configured scenario. All structural choices draw from
+// the run's seeded RNG.
+func (s *swarmRun) buildWorld() error {
+	switch s.cfg.Scenario {
+	case FlashCrowd:
+		s.buildFlashCrowd(ClassSharing, 0)
+	case Cheater:
+		s.buildFlashCrowd(ClassCorrupt, s.cfg.CorruptFrac)
+	case Mixed, Churn:
+		s.buildMixed()
+	case Freerider:
+		s.buildFreerider()
+	}
+	for _, p := range s.peers {
+		if err := s.spawn(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildFlashCrowd: one object, a handful of seed holders, everyone else
+// downloads it simultaneously. badFrac of the seeds get badClass (the
+// cheater scenario corrupts them; flashcrowd passes zero). Downloaders'
+// provider sets hold every seed plus a few fellow downloaders, so completed
+// sharers spread the object epidemically.
+func (s *swarmRun) buildFlashCrowd(badClass string, badFrac float64) {
+	const obj = catalog.ObjectID(1)
+	seeds := max(2, s.cfg.Nodes/30)
+	bad := 0
+	if badFrac > 0 {
+		// At least one corrupt seed so the scenario means something, and at
+		// least one honest seed so downloads can complete at all.
+		bad = min(max(1, int(float64(seeds)*badFrac)), seeds-1)
+	}
+	for i := 0; i < s.cfg.Nodes; i++ {
+		p := &peerState{id: core.PeerID(i + 1), class: ClassSharing}
+		if i < seeds {
+			if i < bad {
+				p.class = badClass
+			}
+			p.holds = []catalog.ObjectID{obj}
+		}
+		s.peers = append(s.peers, p)
+	}
+	seedIDs := make([]core.PeerID, seeds)
+	for i := range seedIDs {
+		seedIDs[i] = s.peers[i].id
+	}
+	for _, p := range s.peers[seeds:] {
+		providers := append([]core.PeerID(nil), seedIDs...)
+		// A few fellow downloaders: they hold nothing yet, but the retry
+		// path finds them once they complete.
+		for _, j := range s.rng.Perm(s.cfg.Nodes - seeds)[:min(s.cfg.ProvidersPerWant, s.cfg.Nodes-seeds)] {
+			other := s.peers[seeds+j]
+			if other.id != p.id {
+				providers = append(providers, other.id)
+			}
+		}
+		p.wants = []*wantState{{obj: obj, providers: providers}}
+	}
+}
+
+// buildMixed: every object starts at one sharer (round-robin); every node
+// wants WantsPerNode objects it does not hold, from the holder plus a few
+// random peers.
+func (s *swarmRun) buildMixed() {
+	holder := make(map[catalog.ObjectID]core.PeerID, s.cfg.Objects)
+	for i := 0; i < s.cfg.Nodes; i++ {
+		p := &peerState{id: core.PeerID(i + 1), class: ClassSharing}
+		if s.cfg.FreeriderFrac > 0 && s.rng.Float64() < s.cfg.FreeriderFrac {
+			p.class = ClassNonSharing
+		}
+		s.peers = append(s.peers, p)
+	}
+	sharers := make([]*peerState, 0, len(s.peers))
+	for _, p := range s.peers {
+		if p.class == ClassSharing {
+			sharers = append(sharers, p)
+		}
+	}
+	if len(sharers) == 0 {
+		// A high FreeriderFrac can randomly leave nobody to hold content;
+		// the world needs at least one holder to mean anything.
+		s.peers[0].class = ClassSharing
+		sharers = append(sharers, s.peers[0])
+	}
+	for o := 1; o <= s.cfg.Objects; o++ {
+		obj := catalog.ObjectID(o)
+		p := sharers[(o-1)%len(sharers)]
+		p.holds = append(p.holds, obj)
+		holder[obj] = p.id
+	}
+	for _, p := range s.peers {
+		held := make(map[catalog.ObjectID]bool, len(p.holds))
+		for _, o := range p.holds {
+			held[o] = true
+		}
+		for _, oi := range s.rng.Perm(s.cfg.Objects) {
+			if len(p.wants) >= s.cfg.WantsPerNode {
+				break
+			}
+			obj := catalog.ObjectID(oi + 1)
+			if held[obj] {
+				continue
+			}
+			providers := []core.PeerID{holder[obj]}
+			for _, j := range s.rng.Perm(s.cfg.Nodes)[:min(s.cfg.ProvidersPerWant, s.cfg.Nodes)] {
+				other := s.peers[j]
+				if other.id != p.id && other.id != holder[obj] {
+					providers = append(providers, other.id)
+				}
+			}
+			p.wants = append(p.wants, &wantState{obj: obj, providers: providers})
+		}
+	}
+}
+
+// buildFreerider: sharers hold one object each and are paired into mutual
+// wants — the live network's pairwise exchange substrate — while
+// FreeriderFrac of the population holds nothing and wants random sharer
+// objects. With scarce, paced upload slots the sharing class completes
+// through exchange priority; the non-sharing class waits for spare
+// capacity. This is the live qualitative check of the simulator's Fig. 12.
+func (s *swarmRun) buildFreerider() {
+	riders := int(float64(s.cfg.Nodes) * s.cfg.FreeriderFrac)
+	sharers := s.cfg.Nodes - riders
+	if sharers%2 == 1 { // pairing needs an even sharer count
+		sharers--
+		riders++
+	}
+	if sharers < 2 {
+		// A high fraction at a small population can round the sharing class
+		// away entirely; the scenario needs at least one exchange pair or
+		// the run measures nothing.
+		sharers = 2
+		riders = s.cfg.Nodes - 2
+	}
+	// One object per sharer; sharer 2k and 2k+1 want each other's object.
+	s.cfg.Objects = sharers
+	for i := 0; i < sharers; i++ {
+		obj := catalog.ObjectID(i + 1)
+		p := &peerState{
+			id:    core.PeerID(i + 1),
+			class: ClassSharing,
+			holds: []catalog.ObjectID{obj},
+		}
+		s.peers = append(s.peers, p)
+	}
+	for i := 0; i < sharers; i++ {
+		partner := i ^ 1 // 0<->1, 2<->3, ...
+		obj := catalog.ObjectID(partner + 1)
+		s.peers[i].wants = []*wantState{{
+			obj:       obj,
+			providers: []core.PeerID{s.peers[partner].id},
+		}}
+	}
+	for i := 0; i < riders; i++ {
+		p := &peerState{id: core.PeerID(sharers + i + 1), class: ClassNonSharing}
+		wants := min(s.cfg.WantsPerNode, sharers)
+		for _, oi := range s.rng.Perm(sharers)[:wants] {
+			obj := catalog.ObjectID(oi + 1)
+			// Both the holder and its partner will hold the object once
+			// their exchange completes.
+			p.wants = append(p.wants, &wantState{
+				obj:       obj,
+				providers: []core.PeerID{s.peers[oi].id, s.peers[oi^1].id},
+			})
+		}
+		s.peers = append(s.peers, p)
+	}
+	// The digest oracle sized the catalog before Objects was final; trim is
+	// unnecessary (extra entries are harmless), but make sure every object
+	// in play has digests.
+	for o := 1; o <= s.cfg.Objects; o++ {
+		obj := catalog.ObjectID(o)
+		if _, ok := s.oracle[obj]; !ok {
+			s.oracle[obj] = blockDigests(objData(obj, s.cfg.ObjectSize), s.cfg.BlockSize)
+		}
+	}
+}
+
+// describe names the world for progress logs.
+func (s *swarmRun) describe() string {
+	classes := make(map[string]int)
+	for _, p := range s.peers {
+		classes[p.class]++
+	}
+	return fmt.Sprintf("%s: %d nodes %v, %d objects", s.cfg.Scenario, len(s.peers), classes, s.cfg.Objects)
+}

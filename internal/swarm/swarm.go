@@ -1,0 +1,591 @@
+// Package swarm is the live-network counterpart of the simulator's
+// experiment harness: it launches hundreds of real peers (internal/node)
+// plus a trusted mediator over the in-memory transport — or TCP loopback —
+// drives a declarative scenario against them, and aggregates every node's
+// Stats into the same figure-shaped TSV the simulator emits, so live results
+// are directly comparable with exchsim output.
+//
+// Scenarios:
+//
+//   - flashcrowd: one object, a few seed holders, everyone else downloads it
+//     at once; completed sharers join the provider set (epidemic spread).
+//   - mixed: a steady workload — many objects spread across the population,
+//     every node wants a few it lacks.
+//   - freerider: sharers hold content and form mutual-want pairs (live
+//     exchange rings); a configurable fraction of peers contributes nothing.
+//     The output mirrors Figure 12: mean completion time for the "sharing"
+//     vs "non-sharing" class.
+//   - cheater: a fraction of the seeds serve junk; receivers validate every
+//     block and complete from honest holders, and the mediator audits each
+//     cheater's output, flagging them all.
+//   - churn: the mixed workload while nodes are closed and restarted
+//     mid-run, hundreds of times; every shutdown path in node, transport,
+//     and mediator is exercised under load.
+//
+// The orchestrator owns a shared address directory (the lookup service the
+// paper treats as external) and a digest oracle covering the whole catalog.
+package swarm
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+	"barter/internal/mediator"
+	"barter/internal/node"
+	"barter/internal/protocol"
+	"barter/internal/rng"
+	"barter/internal/transport"
+)
+
+// Scenario names a declarative swarm workload.
+type Scenario string
+
+// The built-in scenarios.
+const (
+	FlashCrowd Scenario = "flashcrowd"
+	Mixed      Scenario = "mixed"
+	Freerider  Scenario = "freerider"
+	Cheater    Scenario = "cheater"
+	Churn      Scenario = "churn"
+)
+
+// Scenarios lists every built-in scenario in presentation order.
+func Scenarios() []Scenario {
+	return []Scenario{FlashCrowd, Mixed, Freerider, Cheater, Churn}
+}
+
+// Peer classes, named to line up with the simulator's Figure 12 series.
+const (
+	ClassSharing    = "sharing"
+	ClassNonSharing = "non-sharing"
+	ClassCorrupt    = "corrupt"
+)
+
+// Config parameterizes one swarm run. The zero value is not runnable; at
+// minimum set Scenario and Nodes, then fillDefaults sizes the rest per
+// scenario (Quick shrinks objects so a run takes seconds).
+type Config struct {
+	// Scenario selects the workload; Nodes is the population size.
+	Scenario Scenario
+	Nodes    int
+	// Quick shrinks object sizes and pacing for second-scale runs.
+	Quick bool
+	// Seed drives every structural random choice (placement, wants, churn
+	// victims). Wall-clock timing still varies run to run.
+	Seed uint64
+	// Transport overrides the wire; nil uses a fresh in-memory network.
+	// TCP selects loopback TCP (with read/write deadlines) instead.
+	Transport transport.Transport
+	TCP       bool
+
+	// Objects is the catalog size; ObjectSize and BlockSize shape each
+	// transfer; BlockDelay paces upload slots in wall-clock time.
+	Objects    int
+	ObjectSize int
+	BlockSize  int
+	BlockDelay time.Duration
+	// UploadSlots bounds each sharer's concurrent uploads; scarcity is what
+	// makes exchange priority visible.
+	UploadSlots int
+	// WantsPerNode is how many objects each downloader requests (scenarios
+	// with structured wants ignore it). ProvidersPerWant caps the provider
+	// fan-out handed to each Download.
+	WantsPerNode     int
+	ProvidersPerWant int
+	// FreeriderFrac is the fraction of peers that share nothing;
+	// CorruptFrac is the fraction of flashcrowd seeds that serve junk.
+	FreeriderFrac float64
+	CorruptFrac   float64
+	// Restarts is how many node close/restart cycles the churn scenario
+	// performs; ChurnInterval is the pause between them.
+	Restarts      int
+	ChurnInterval time.Duration
+	// Timeout bounds the whole run; wants still pending when it expires
+	// are recorded as failed.
+	Timeout time.Duration
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() error {
+	switch c.Scenario {
+	case FlashCrowd, Mixed, Freerider, Cheater, Churn:
+	case "":
+		return errors.New("swarm: Scenario is required")
+	default:
+		return fmt.Errorf("swarm: unknown scenario %q", c.Scenario)
+	}
+	if c.Nodes < 4 {
+		return fmt.Errorf("swarm: need at least 4 nodes, got %d", c.Nodes)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Objects <= 0 {
+		switch c.Scenario {
+		case FlashCrowd, Cheater:
+			c.Objects = 1
+		default:
+			c.Objects = max(4, c.Nodes/8)
+		}
+	}
+	if c.ObjectSize <= 0 {
+		if c.Quick {
+			c.ObjectSize = 32 << 10
+		} else {
+			c.ObjectSize = 256 << 10
+		}
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4 << 10
+	}
+	if c.UploadSlots <= 0 {
+		if c.Scenario == Freerider {
+			c.UploadSlots = 1 // scarcity: exchange priority must matter
+		} else {
+			c.UploadSlots = 4
+		}
+	}
+	if c.BlockDelay <= 0 && c.Scenario == Freerider {
+		// Paced slots give ring negotiation time to preempt, as in the
+		// paper's fixed-rate transfer model.
+		c.BlockDelay = time.Millisecond
+	}
+	if c.WantsPerNode <= 0 {
+		c.WantsPerNode = 2
+	}
+	if c.ProvidersPerWant <= 0 {
+		c.ProvidersPerWant = 6
+	}
+	if c.FreeriderFrac == 0 && c.Scenario == Freerider {
+		c.FreeriderFrac = 0.3
+	}
+	if c.FreeriderFrac < 0 || c.FreeriderFrac > 0.9 {
+		return fmt.Errorf("swarm: FreeriderFrac %g out of range [0, 0.9]", c.FreeriderFrac)
+	}
+	if c.CorruptFrac == 0 && c.Scenario == Cheater {
+		c.CorruptFrac = 0.3
+	}
+	if c.CorruptFrac < 0 || c.CorruptFrac > 0.9 {
+		return fmt.Errorf("swarm: CorruptFrac %g out of range [0, 0.9]", c.CorruptFrac)
+	}
+	if c.Restarts <= 0 && c.Scenario == Churn {
+		if c.Quick {
+			c.Restarts = 60
+		} else {
+			c.Restarts = 200
+		}
+	}
+	if c.ChurnInterval <= 0 {
+		c.ChurnInterval = 5 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		if c.Quick {
+			c.Timeout = 60 * time.Second
+		} else {
+			c.Timeout = 5 * time.Minute
+		}
+	}
+	return nil
+}
+
+// directory is the shared peer-id -> address lookup service; restarts
+// re-register under fresh addresses.
+type directory struct {
+	mu    sync.Mutex
+	addrs map[core.PeerID]string
+}
+
+func (d *directory) set(id core.PeerID, addr string) {
+	d.mu.Lock()
+	d.addrs[id] = addr
+	d.mu.Unlock()
+}
+
+func (d *directory) lookup(id core.PeerID) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, ok := d.addrs[id]
+	return a, ok
+}
+
+// wantState tracks one (node, object) download across retries and restarts.
+type wantState struct {
+	obj       catalog.ObjectID
+	providers []core.PeerID
+
+	mu       sync.Mutex
+	done     bool
+	failed   bool
+	attempts int
+	elapsed  time.Duration
+}
+
+// peerState wraps one live node with everything needed to restart it.
+type peerState struct {
+	id    core.PeerID
+	class string
+
+	mu       sync.Mutex
+	node     *node.Node
+	restarts int
+
+	holds []catalog.ObjectID // objects held from the start
+	wants []*wantState
+}
+
+// current returns the peer's live node (it changes across churn restarts).
+func (p *peerState) current() *node.Node {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.node
+}
+
+// swarmRun is the orchestrator state for one Run.
+type swarmRun struct {
+	cfg     Config
+	tr      transport.Transport
+	dir     *directory
+	oracle  map[catalog.ObjectID][][32]byte
+	peers   []*peerState
+	med     *mediator.Mediator
+	rng     *rng.RNG
+	start   time.Time
+	giveUp  chan struct{} // closed when the run deadline expires
+	waiters sync.WaitGroup
+}
+
+func (s *swarmRun) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// objData derives an object's bytes deterministically from its id, so a
+// restarted holder can re-materialize content without snapshotting nodes.
+func objData(obj catalog.ObjectID, size int) []byte {
+	out := make([]byte, size)
+	seed := sha256.Sum256(fmt.Appendf(nil, "swarm-object-%d", obj))
+	for i := range out {
+		out[i] = seed[i%32] ^ byte(i) ^ byte(i>>8)
+	}
+	return out
+}
+
+// Run executes one swarm scenario and aggregates the outcome.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	s := &swarmRun{
+		cfg:    cfg,
+		tr:     cfg.Transport,
+		dir:    &directory{addrs: make(map[core.PeerID]string)},
+		oracle: make(map[catalog.ObjectID][][32]byte),
+		rng:    rng.New(cfg.Seed),
+		giveUp: make(chan struct{}),
+	}
+	if s.tr == nil {
+		if cfg.TCP {
+			s.tr = transport.TCP{ReadTimeout: 30 * time.Second, WriteTimeout: 30 * time.Second}
+		} else {
+			s.tr = transport.NewMem()
+		}
+	}
+	for obj := 1; obj <= cfg.Objects; obj++ {
+		id := catalog.ObjectID(obj)
+		s.oracle[id] = blockDigests(objData(id, cfg.ObjectSize), cfg.BlockSize)
+	}
+
+	if err := s.buildWorld(); err != nil {
+		s.teardown()
+		return nil, err
+	}
+	s.logf("world: %s", s.describe())
+
+	med, err := mediator.New(s.tr, s.mediatorAddr(), func(o catalog.ObjectID) ([][32]byte, bool) {
+		d, ok := s.oracle[o]
+		return d, ok
+	})
+	if err != nil {
+		s.teardown()
+		return nil, fmt.Errorf("swarm: mediator: %w", err)
+	}
+	s.med = med
+
+	s.start = time.Now()
+	deadline := time.AfterFunc(cfg.Timeout, func() { close(s.giveUp) })
+	defer deadline.Stop()
+
+	s.launchWants()
+	if cfg.Scenario == Churn {
+		s.churn()
+	}
+	s.waiters.Wait()
+
+	flagged := 0
+	if cfg.Scenario == Cheater {
+		flagged = s.auditCheaters()
+	}
+	elapsed := time.Since(s.start)
+
+	res := s.collect(elapsed, flagged)
+	s.teardown()
+	med.Close()
+	return res, nil
+}
+
+func (s *swarmRun) mediatorAddr() string {
+	if s.cfg.TCP {
+		return "127.0.0.1:0"
+	}
+	return "mem://swarm-mediator"
+}
+
+func (s *swarmRun) nodeAddr() string {
+	if s.cfg.TCP {
+		return "127.0.0.1:0"
+	}
+	return "" // in-memory auto-assign
+}
+
+func blockDigests(data []byte, blockSize int) [][32]byte {
+	n := (len(data) + blockSize - 1) / blockSize
+	out := make([][32]byte, 0, n)
+	for off := 0; off < len(data); off += blockSize {
+		end := min(off+blockSize, len(data))
+		out = append(out, sha256.Sum256(data[off:end]))
+	}
+	return out
+}
+
+// spawn starts (or restarts) the live node for p and registers its address.
+func (s *swarmRun) spawn(p *peerState) error {
+	cfg := node.Config{
+		ID:           p.id,
+		Addr:         s.nodeAddr(),
+		Transport:    s.tr,
+		Lookup:       s.dir.lookup,
+		Share:        p.class != ClassNonSharing,
+		Corrupt:      p.class == ClassCorrupt,
+		UploadSlots:  s.cfg.UploadSlots,
+		BlockSize:    s.cfg.BlockSize,
+		BlockDelay:   s.cfg.BlockDelay,
+		TickInterval: 5 * time.Millisecond,
+		StallTicks:   10,
+		MaxRetries:   1 << 20, // the harness owns giving up, via Timeout
+	}
+	if s.cfg.Scenario == Cheater {
+		cfg.TrustedDigests = func(o catalog.ObjectID) ([][32]byte, bool) {
+			d, ok := s.oracle[o]
+			return d, ok
+		}
+	}
+	n, err := node.New(cfg)
+	if err != nil {
+		return fmt.Errorf("swarm: spawn %d: %w", p.id, err)
+	}
+	for _, obj := range p.holds {
+		n.AddObject(obj, objData(obj, s.cfg.ObjectSize))
+	}
+	// Wants completed before a restart stay available to the network.
+	for _, w := range p.wants {
+		w.mu.Lock()
+		completed := w.done
+		w.mu.Unlock()
+		if completed {
+			n.AddObject(w.obj, objData(w.obj, s.cfg.ObjectSize))
+		}
+	}
+	p.mu.Lock()
+	p.node = n
+	p.mu.Unlock()
+	s.dir.set(p.id, n.Addr())
+	return nil
+}
+
+// launchWants starts one waiter goroutine per (peer, want): it issues the
+// download, retries on failure (a churned provider, a restarted self), and
+// records completion or gives up at the run deadline. Non-sharing peers
+// launch first so their requests occupy upload slots before sharers ask —
+// the strongest-case ordering for observing exchange priority, mirroring
+// how free-riders race ahead in the paper's scenarios.
+func (s *swarmRun) launchWants() {
+	for _, phase := range []string{ClassNonSharing, ClassCorrupt, ClassSharing} {
+		for _, p := range s.peers {
+			if p.class != phase {
+				continue
+			}
+			for _, w := range p.wants {
+				s.waiters.Add(1)
+				go s.await(p, w)
+			}
+		}
+	}
+}
+
+// await drives one want to completion or the run deadline.
+func (s *swarmRun) await(p *peerState, w *wantState) {
+	defer s.waiters.Done()
+	backoff := 2 * time.Millisecond
+	for {
+		nd := p.current()
+		providers := make(map[core.PeerID]string, len(w.providers))
+		for _, pid := range w.providers {
+			if addr, ok := s.dir.lookup(pid); ok {
+				providers[pid] = addr
+			}
+		}
+		w.mu.Lock()
+		w.attempts++
+		w.mu.Unlock()
+		ch := nd.Download(w.obj, providers)
+		select {
+		case err := <-ch:
+			if err == nil {
+				w.mu.Lock()
+				w.done = true
+				w.elapsed = time.Since(s.start)
+				w.mu.Unlock()
+				return
+			}
+			// Closed mid-churn, or sources exhausted: back off and retry
+			// against the current node until the run deadline.
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-s.giveUp:
+				t.Stop()
+				s.fail(w)
+				return
+			}
+			if backoff < 50*time.Millisecond {
+				backoff *= 2
+			}
+		case <-s.giveUp:
+			s.fail(w)
+			return
+		}
+	}
+}
+
+func (s *swarmRun) fail(w *wantState) {
+	w.mu.Lock()
+	w.failed = true
+	w.mu.Unlock()
+}
+
+// churn repeatedly closes a random peer and restarts it under the same
+// identity with a fresh address: in-flight transfers die, waiters re-issue,
+// and every shutdown path runs hundreds of times per scenario.
+func (s *swarmRun) churn() {
+	for i := 0; i < s.cfg.Restarts; i++ {
+		select {
+		case <-s.giveUp:
+			s.logf("churn: deadline hit after %d restarts", i)
+			return
+		default:
+		}
+		p := s.peers[s.rng.Intn(len(s.peers))]
+		old := p.current()
+		old.Close()
+		if err := s.spawn(p); err != nil {
+			// Transport refused (e.g. exhausted ports); count and move on —
+			// the waiters keep retrying against the last known address.
+			s.logf("churn: restart %d failed: %v", p.id, err)
+			continue
+		}
+		p.mu.Lock()
+		p.restarts++
+		p.mu.Unlock()
+		t := time.NewTimer(s.cfg.ChurnInterval)
+		select {
+		case <-t.C:
+		case <-s.giveUp:
+			t.Stop()
+			s.logf("churn: deadline hit after %d restarts", i+1)
+			return
+		}
+	}
+}
+
+// auditCheaters plays the receiving peer's role of the Section III-B
+// protocol against every corrupt node: seal the junk it serves under its
+// escrowed key, deposit, and submit samples for audit. The mediator must
+// reject every one and flag the cheater. (Nodes do not yet speak the
+// mediated encryption natively on the block path; the swarm audits
+// out-of-band, which still exercises the mediator under full concurrency.)
+func (s *swarmRun) auditCheaters() int {
+	var wg sync.WaitGroup
+	flagged := make([]bool, len(s.peers))
+	for i, p := range s.peers {
+		if p.class != ClassCorrupt {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p *peerState) {
+			defer wg.Done()
+			cl, err := mediator.Dial(s.tr, s.med.Addr())
+			if err != nil {
+				s.logf("audit %d: dial: %v", p.id, err)
+				return
+			}
+			defer cl.Close()
+			obj := catalog.ObjectID(1)
+			exchange := uint64(p.id)
+			var key [16]byte
+			copy(key[:], fmt.Sprintf("cheater-%08d-key", p.id))
+			if err := cl.Deposit(exchange, p.id, obj, key); err != nil {
+				s.logf("audit %d: deposit: %v", p.id, err)
+				return
+			}
+			// What a corrupt node actually serves: junk bytes in place of
+			// the real block (the same pattern node.Config.Corrupt emits).
+			junk := make([]byte, min(s.cfg.BlockSize, s.cfg.ObjectSize))
+			for j := range junk {
+				junk[j] = byte(j) ^ 0xAA
+			}
+			victim := p.id + 1
+			sealed, err := mediator.Seal(key, p.id, victim, obj, 0, junk)
+			if err != nil {
+				s.logf("audit %d: seal: %v", p.id, err)
+				return
+			}
+			samples := []protocol.Block{{Object: obj, Index: 0, Origin: p.id, Recipient: victim, Encrypted: true, Payload: sealed}}
+			_, err = cl.Verify(exchange, victim, p.id, obj, samples)
+			if errors.Is(err, mediator.ErrRejected) {
+				flagged[i] = true
+			} else {
+				s.logf("audit %d: junk passed the audit: %v", p.id, err)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	n := 0
+	for _, f := range flagged {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// teardown closes every live node.
+func (s *swarmRun) teardown() {
+	var wg sync.WaitGroup
+	for _, p := range s.peers {
+		if nd := p.current(); nd != nil {
+			wg.Add(1)
+			go func(nd *node.Node) {
+				defer wg.Done()
+				nd.Close()
+			}(nd)
+		}
+	}
+	wg.Wait()
+}

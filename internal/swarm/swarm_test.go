@@ -1,0 +1,243 @@
+package swarm
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakCheck snapshots the goroutine count and verifies the run returned to
+// it (with slack for runtime helpers); the live stack spawns several
+// goroutines per connection, so hundreds of nodes leaking even one each is
+// unmistakable.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		var after int
+		for {
+			runtime.GC() // let finished goroutines be reaped
+			after = runtime.NumGoroutine()
+			if after <= before+5 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if after > before+5 {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Run(Config{Scenario: "bogus", Nodes: 10}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := Run(Config{Scenario: FlashCrowd, Nodes: 2}); err == nil {
+		t.Fatal("tiny swarm accepted")
+	}
+	if _, err := Run(Config{Scenario: Freerider, Nodes: 10, FreeriderFrac: 0.95}); err == nil {
+		t.Fatal("out-of-range freerider fraction accepted")
+	}
+}
+
+func TestScenariosListed(t *testing.T) {
+	if len(Scenarios()) != 5 {
+		t.Fatalf("Scenarios() = %v", Scenarios())
+	}
+}
+
+// TestFlashCrowd is the acceptance scenario: hundreds of live peers fetch
+// one object from a few seeds over the in-memory transport, everyone
+// completes, and no goroutine outlives the run.
+func TestFlashCrowd(t *testing.T) {
+	nodes := 300
+	if testing.Short() {
+		nodes = 120 // the race detector multiplies costs; stay second-scale
+	}
+	defer leakCheck(t)()
+	res, err := Run(Config{Scenario: FlashCrowd, Nodes: nodes, Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("flashcrowd: %d of %d downloads failed\n%s", res.Failed, res.Wanted, res.PeersTSV())
+	}
+	if res.Completed != res.Wanted || res.Wanted == 0 {
+		t.Fatalf("flashcrowd: completed %d of %d", res.Completed, res.Wanted)
+	}
+	if mean, n := res.ClassMean(ClassSharing); n == 0 || mean <= 0 {
+		t.Fatalf("no sharing-class completions recorded (n=%d mean=%v)", n, mean)
+	}
+	tsv := res.TSV()
+	if !strings.Contains(tsv, "live/sharing") || !strings.Contains(tsv, "completed=") {
+		t.Fatalf("TSV missing expected content:\n%s", tsv)
+	}
+}
+
+// TestMixedWorkload drives the steady scenario and checks the aggregate
+// accounting adds up.
+func TestMixedWorkload(t *testing.T) {
+	defer leakCheck(t)()
+	res, err := Run(Config{Scenario: Mixed, Nodes: 60, Quick: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || res.Completed != res.Wanted {
+		t.Fatalf("mixed: completed %d failed %d of %d\n%s", res.Completed, res.Failed, res.Wanted, res.PeersTSV())
+	}
+	wanted, completed, failed := 0, 0, 0
+	for _, p := range res.Peers {
+		wanted += p.Wanted
+		completed += p.Completed
+		failed += p.Failed
+	}
+	if wanted != res.Wanted || completed != res.Completed || failed != res.Failed {
+		t.Fatal("aggregate counters disagree with per-peer rows")
+	}
+}
+
+// TestFreeriderGap is the live qualitative check of the simulator's
+// Figure 12: with scarce, paced upload slots, the sharing class — served
+// with exchange priority — completes its downloads faster than the
+// non-sharing class, which launched its requests first and still waits.
+func TestFreeriderGap(t *testing.T) {
+	defer leakCheck(t)()
+	res, err := Run(Config{Scenario: Freerider, Nodes: 40, Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharing, ns := res.ClassMean(ClassSharing)
+	rider, nr := res.ClassMean(ClassNonSharing)
+	if ns == 0 || nr == 0 {
+		t.Fatalf("missing class completions (sharing n=%d, non-sharing n=%d)\n%s", ns, nr, res.PeersTSV())
+	}
+	if sharing >= rider {
+		t.Fatalf("no incentive gap: sharing mean %v >= non-sharing mean %v\n%s", sharing, rider, res.PeersTSV())
+	}
+	// Exchange machinery, not just scheduling luck, must have carried
+	// sharers: rings formed and exchange blocks flowed.
+	rings, exch := 0, 0
+	for _, p := range res.Peers {
+		rings += p.Stats.RingsJoined
+		exch += p.Stats.ExchangeBlocksSent
+	}
+	if rings == 0 || exch == 0 {
+		t.Fatalf("no live exchanges in freerider run (rings=%d exchange blocks=%d)", rings, exch)
+	}
+	if !strings.Contains(res.TSV(), "live/non-sharing") {
+		t.Fatalf("TSV missing non-sharing series:\n%s", res.TSV())
+	}
+}
+
+// TestCheaterAudited: corrupt seeds serve junk; every downloader still
+// completes from honest seeds (per-block validation), and the mediator's
+// audit flags every cheater.
+func TestCheaterAudited(t *testing.T) {
+	defer leakCheck(t)()
+	res, err := Run(Config{Scenario: Cheater, Nodes: 60, Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("cheater scenario: %d failures\n%s", res.Failed, res.PeersTSV())
+	}
+	corrupt := 0
+	for _, p := range res.Peers {
+		if p.Class == ClassCorrupt {
+			corrupt++
+		}
+	}
+	if corrupt == 0 {
+		t.Fatal("world built no corrupt peers")
+	}
+	if res.Flagged != corrupt {
+		t.Fatalf("mediator flagged %d of %d cheaters", res.Flagged, corrupt)
+	}
+	rejected := 0
+	for _, p := range res.Peers {
+		rejected += p.Stats.BlocksRejected
+	}
+	if rejected == 0 {
+		t.Fatal("no junk blocks were rejected — cheaters never probed anyone")
+	}
+}
+
+// TestChurn is the acceptance scenario for shutdown robustness: nodes are
+// closed and restarted dozens of times mid-run (under -race in CI's short
+// suite), every download still completes, and nothing leaks or hangs.
+func TestChurn(t *testing.T) {
+	restarts := 80
+	nodes := 100
+	if testing.Short() {
+		restarts = 50 // the acceptance floor, affordable under -race
+	}
+	defer leakCheck(t)()
+	res, err := Run(Config{
+		Scenario: Churn,
+		Nodes:    nodes,
+		Quick:    true,
+		Seed:     13,
+		Restarts: restarts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts < restarts {
+		t.Fatalf("churned only %d times, want >= %d", res.Restarts, restarts)
+	}
+	if res.Failed != 0 || res.Completed != res.Wanted {
+		t.Fatalf("churn: completed %d failed %d of %d (restarts=%d)\n%s",
+			res.Completed, res.Failed, res.Wanted, res.Restarts, res.PeersTSV())
+	}
+}
+
+// TestSwarmOverTCP runs a small flash crowd over real loopback sockets with
+// read/write deadlines armed.
+func TestSwarmOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP swarm skipped in -short (port churn under race)")
+	}
+	defer leakCheck(t)()
+	res, err := Run(Config{Scenario: FlashCrowd, Nodes: 40, Quick: true, Seed: 9, TCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || res.Completed != res.Wanted {
+		t.Fatalf("tcp flashcrowd: completed %d failed %d of %d", res.Completed, res.Failed, res.Wanted)
+	}
+}
+
+func TestResultTSVShape(t *testing.T) {
+	res := &Result{
+		Scenario:      Freerider,
+		Nodes:         4,
+		FreeriderFrac: 0.5,
+		Peers: []PeerResult{
+			{ID: 1, Class: ClassSharing, Wanted: 1, Completed: 1, MeanCompletion: 2 * time.Second},
+			{ID: 2, Class: ClassNonSharing, Wanted: 1, Completed: 1, MeanCompletion: 4 * time.Second},
+		},
+	}
+	tsv := res.Table().TSV()
+	if !strings.Contains(tsv, "fraction of non-sharing peers\tlive/sharing\tlive/non-sharing") {
+		t.Fatalf("header shape:\n%s", tsv)
+	}
+	if !strings.Contains(tsv, "0.5\t2\t4") {
+		t.Fatalf("row shape:\n%s", tsv)
+	}
+	if got, n := res.ClassMean(ClassNonSharing); n != 1 || got != 4*time.Second {
+		t.Fatalf("ClassMean = %v, %d", got, n)
+	}
+	peers := res.PeersTSV()
+	if !strings.HasPrefix(peers, "peer\tclass\t") || !strings.Contains(peers, "non-sharing") {
+		t.Fatalf("peer rows:\n%s", peers)
+	}
+}

@@ -4,35 +4,49 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"time"
 
 	"barter/internal/protocol"
 )
 
 // TCP is the production transport: protocol frames over TCP connections.
-type TCP struct{}
+//
+// The zero value applies no I/O deadlines, matching historical behavior.
+// Setting ReadTimeout or WriteTimeout arms a deadline around every Recv or
+// Send on connections this transport creates (both dialed and accepted), so
+// a hung peer surfaces as an error instead of wedging a reader goroutine —
+// and with it an upload slot — forever.
+type TCP struct {
+	// ReadTimeout bounds each Recv; zero means no read deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each Send; zero means no write deadline.
+	WriteTimeout time.Duration
+}
 
 var _ Transport = TCP{}
 
 // Listen implements Transport; addr is host:port, ":0" auto-assigns.
-func (TCP) Listen(addr string) (Listener, error) {
+func (t TCP) Listen(addr string) (Listener, error) {
 	nl, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &tcpListener{nl: nl}, nil
+	return &tcpListener{nl: nl, readTimeout: t.ReadTimeout, writeTimeout: t.WriteTimeout}, nil
 }
 
 // Dial implements Transport.
-func (TCP) Dial(addr string) (Conn, error) {
+func (t TCP) Dial(addr string) (Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return newTCPConn(nc), nil
+	return newTCPConn(nc, t.ReadTimeout, t.WriteTimeout), nil
 }
 
 type tcpListener struct {
-	nl net.Listener
+	nl           net.Listener
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 }
 
 func (l *tcpListener) Accept() (Conn, error) {
@@ -40,15 +54,17 @@ func (l *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newTCPConn(nc), nil
+	return newTCPConn(nc, l.readTimeout, l.writeTimeout), nil
 }
 
 func (l *tcpListener) Close() error { return l.nl.Close() }
 func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
 
 type tcpConn struct {
-	nc net.Conn
-	br *bufio.Reader
+	nc           net.Conn
+	br           *bufio.Reader
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 
 	// sendMu serializes writers; bufio.Writer is flushed per message so a
 	// frame is never interleaved or half-buffered across Sends.
@@ -56,11 +72,13 @@ type tcpConn struct {
 	bw     *bufio.Writer
 }
 
-func newTCPConn(nc net.Conn) *tcpConn {
+func newTCPConn(nc net.Conn, readTimeout, writeTimeout time.Duration) *tcpConn {
 	return &tcpConn{
-		nc: nc,
-		br: bufio.NewReaderSize(nc, 64<<10),
-		bw: bufio.NewWriterSize(nc, 64<<10),
+		nc:           nc,
+		br:           bufio.NewReaderSize(nc, 64<<10),
+		bw:           bufio.NewWriterSize(nc, 64<<10),
+		readTimeout:  readTimeout,
+		writeTimeout: writeTimeout,
 	}
 }
 
@@ -71,6 +89,11 @@ func (c *tcpConn) Send(msg protocol.Message) error {
 	}
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if c.writeTimeout > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return err
+		}
+	}
 	if _, err := c.bw.Write(frame); err != nil {
 		return err
 	}
@@ -78,6 +101,11 @@ func (c *tcpConn) Send(msg protocol.Message) error {
 }
 
 func (c *tcpConn) Recv() (protocol.Message, error) {
+	if c.readTimeout > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+			return nil, err
+		}
+	}
 	return protocol.Decode(c.br)
 }
 

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -235,6 +236,93 @@ func TestMemDrainsQueuedMessagesOnClose(t *testing.T) {
 	if q, ok := msg.(*protocol.RingQuit); !ok || q.RingID != 42 {
 		t.Fatalf("got %+v", msg)
 	}
+}
+
+// TestTCPReadDeadline: with a ReadTimeout armed, a Recv from a peer that
+// never speaks fails instead of blocking forever (the hung-peer wedge the
+// swarm's churn scenario would otherwise hit over TCP).
+func TestTCPReadDeadline(t *testing.T) {
+	tr := TCP{ReadTimeout: 100 * time.Millisecond}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close() //nolint:errcheck // test cleanup
+	errCh := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer c.Close()   //nolint:errcheck // test cleanup
+		_, err = c.Recv() // the dialer never sends
+		errCh <- err
+	}()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck // test cleanup
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Recv from a silent peer returned nil error")
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("Recv err = %v, want a net timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv ignored the read deadline")
+	}
+}
+
+// TestTCPNoDeadlineByDefault: the zero-value transport must not time out a
+// quiet but healthy connection (compatibility with existing deployments).
+func TestTCPNoDeadlineByDefault(t *testing.T) {
+	tr := TCP{}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close() //nolint:errcheck // test cleanup
+	got := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			got <- err
+			return
+		}
+		defer c.Close() //nolint:errcheck // test cleanup
+		_, err = c.Recv()
+		got <- err
+	}()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck // test cleanup
+	// Stay silent past any plausible accidental deadline, then speak.
+	time.Sleep(300 * time.Millisecond)
+	if err := c.Send(&protocol.Hello{Peer: 7}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("Recv on an idle default connection failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never arrived")
+	}
+}
+
+// TestTCPDeadlineContract: a transport with generous deadlines still passes
+// the full transport contract (deadlines are re-armed per operation, not
+// absolute).
+func TestTCPDeadlineContract(t *testing.T) {
+	exercise(t, TCP{ReadTimeout: 30 * time.Second, WriteTimeout: 30 * time.Second}, "127.0.0.1:0")
 }
 
 func TestTCPLargeMessage(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"barter/internal/core"
 	"barter/internal/mediator"
 	"barter/internal/node"
+	"barter/internal/swarm"
 	"barter/internal/transport"
 )
 
@@ -29,7 +30,33 @@ type (
 	Mediator = mediator.Mediator
 	// DigestOracle supplies trusted block checksums to a mediator.
 	DigestOracle = mediator.DigestOracle
+	// SwarmConfig parameterizes a live-network swarm run; see RunSwarm.
+	SwarmConfig = swarm.Config
+	// SwarmScenario names a declarative swarm workload.
+	SwarmScenario = swarm.Scenario
+	// SwarmResult aggregates one swarm run into figure-shaped TSV.
+	SwarmResult = swarm.Result
+	// SwarmPeerResult is one node's outcome within a swarm run.
+	SwarmPeerResult = swarm.PeerResult
 )
+
+// The built-in swarm scenarios.
+const (
+	SwarmFlashCrowd = swarm.FlashCrowd
+	SwarmMixed      = swarm.Mixed
+	SwarmFreerider  = swarm.Freerider
+	SwarmCheater    = swarm.Cheater
+	SwarmChurn      = swarm.Churn
+)
+
+// RunSwarm launches a live-network swarm — hundreds of real peers plus a
+// trusted mediator over the in-memory transport or TCP loopback — drives
+// the configured scenario, and aggregates per-node stats into the same
+// figure-shaped TSV the simulator emits (see internal/swarm).
+func RunSwarm(cfg SwarmConfig) (*SwarmResult, error) { return swarm.Run(cfg) }
+
+// SwarmScenarios lists the built-in swarm scenarios.
+func SwarmScenarios() []SwarmScenario { return swarm.Scenarios() }
 
 // NewNode starts a live peer.
 func NewNode(cfg NodeConfig) (*Node, error) { return node.New(cfg) }
@@ -45,6 +72,14 @@ func NewMemTransport() Transport { return transport.NewMem() }
 
 // NewTCPTransport returns the production TCP transport.
 func NewTCPTransport() Transport { return transport.TCP{} }
+
+// NewTCPTransportDeadlines returns a TCP transport that arms the given
+// read and write deadlines around every Recv and Send on its connections
+// (zero disables either side, matching NewTCPTransport), so a hung peer
+// surfaces as an error instead of wedging a goroutine forever.
+func NewTCPTransportDeadlines(read, write time.Duration) Transport {
+	return transport.TCP{ReadTimeout: read, WriteTimeout: write}
+}
 
 // NewMediator starts a trusted mediator on the given transport address.
 func NewMediator(tr Transport, addr string, oracle DigestOracle) (*Mediator, error) {
