@@ -8,7 +8,7 @@ GO ?= go
 BENCH_JSON ?= BENCH_2.json
 BENCH_RAW  ?= /tmp/barter-bench-raw.txt
 
-.PHONY: build test test-short test-full swarm-smoke bench bench-json bench-check fmt vet check
+.PHONY: build test test-short test-full swarm-smoke fuzz-smoke bench bench-json bench-check fmt vet lint check
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,11 @@ test-full:
 swarm-smoke:
 	$(GO) run -race ./cmd/exchswarm -scenario flashcrowd -nodes 120 -quick
 	$(GO) run -race ./cmd/exchswarm -scenario churn -nodes 100 -restarts 60 -quick
+
+## fuzz-smoke: a short native-fuzzing pass over the wire codec; CI runs it
+## in the short job so every push hammers Decode with fresh mutated frames.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecode' -fuzztime 10s ./internal/protocol
 
 ## bench: one iteration of every benchmark as a smoke pass.
 bench:
@@ -61,5 +66,15 @@ fmt:
 ## race-enabled short suite compiles.
 vet:
 	$(GO) vet -tags race ./...
+
+## lint: gofmt + vet, plus staticcheck's correctness analyses (SA*) when the
+## binary is available (CI installs it; locally it is optional so the target
+## works in hermetic environments without network access).
+lint: fmt vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck -checks 'SA*' ./...; \
+	else \
+		echo "lint: staticcheck not installed; ran gofmt + go vet only"; \
+	fi
 
 check: build fmt vet test-short

@@ -5,6 +5,7 @@ import (
 	"barter/internal/experiment"
 	"barter/internal/runner"
 	"barter/internal/sim"
+	"barter/internal/strategy"
 )
 
 // The simulation API re-exports the internal engine types: the facade is the
@@ -46,7 +47,38 @@ type (
 	RingMember = core.Member
 	// SearchStats reports the cost of one ring search.
 	SearchStats = core.SearchStats
+
+	// Strategy declares one peer-behavior class — contribution policy,
+	// adaptive/whitewash/partial behavior, class label — shared by the
+	// simulator (Config.Mix) and the live swarm's scenarios.
+	Strategy = strategy.Strategy
+	// StrategyClass is one weighted entry of a population mix.
+	StrategyClass = strategy.Class
+	// StrategyMix is an ordered population mix of weighted classes.
+	StrategyMix = strategy.Mix
 )
+
+// The canonical peer strategies, usable in Config.Mix and mirrored by the
+// live swarm's adversary scenario.
+var (
+	// StrategySharing is the paper's contributing peer.
+	StrategySharing = strategy.Sharing
+	// StrategyNonSharing is the paper's static free-rider.
+	StrategyNonSharing = strategy.NonSharing
+	// StrategyAdaptiveFreerider contributes only while refused.
+	StrategyAdaptiveFreerider = strategy.AdaptiveFreerider
+	// StrategyWhitewasher periodically rejoins under a fresh identity.
+	StrategyWhitewasher = strategy.Whitewasher
+	// StrategyPartialSharer contributes through throttled upload slots.
+	StrategyPartialSharer = strategy.PartialSharer
+)
+
+// LegacyStrategyMix returns the paper's two-class population mix: frac
+// static free-riders, the rest sharers — exactly what Config.FreeriderFrac
+// expands to when Config.Mix is nil.
+func LegacyStrategyMix(freeriderFrac float64) StrategyMix {
+	return strategy.LegacyMix(freeriderFrac)
+}
 
 // BuildTree assembles a request tree from an incoming request queue, pruned
 // to maxDepth (the paper prunes to depth 5).

@@ -11,10 +11,14 @@
 //	exchswarm -scenario freerider -nodes 100 -frac 0.3 -quick
 //	exchswarm -scenario churn -nodes 120 -restarts 100 -quick -v
 //	exchswarm -scenario mixed -nodes 50 -tcp -peers
+//	exchswarm -scenario adversary -nodes 80 -adaptive 0.2 -whitewash 0.1 -partial 0.2 -quick
 //
 // The aggregate TSV mirrors Figure 12's axes (mean download time per peer
 // class vs. fraction of non-sharing peers); -peers appends one row per node
-// with its protocol counters.
+// with its protocol counters. Peer classes are the shared strategy layer's
+// (internal/strategy), so the live series names match exchsim's figures.
+// -seed makes the world structure (class assignment, placement, wants)
+// reproducible; wall-clock timing still varies run to run.
 package main
 
 import (
@@ -49,8 +53,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		quick    = fs.Bool("quick", false, "small objects and pacing: a run takes seconds")
 		seed     = fs.Uint64("seed", 1, "seed for placement, wants, and churn choices")
 		useTCP   = fs.Bool("tcp", false, "TCP loopback (with I/O deadlines) instead of the in-memory transport")
-		frac     = fs.Float64("frac", 0, "fraction of non-sharing peers (freerider/mixed scenarios)")
+		frac     = fs.Float64("frac", 0, "fraction of non-sharing peers (freerider/mixed/adversary scenarios)")
 		corrupt  = fs.Float64("corrupt", 0, "fraction of corrupt seeds (cheater scenario)")
+		adaptive = fs.Float64("adaptive", 0, "fraction of adaptive free-riders (adversary scenario)")
+		wwash    = fs.Float64("whitewash", 0, "fraction of whitewashers (adversary scenario)")
+		partial  = fs.Float64("partial", 0, "fraction of partial sharers (adversary scenario)")
 		restarts = fs.Int("restarts", 0, "node restarts mid-run (churn scenario)")
 		objSize  = fs.Int("objsize", 0, "object size in bytes (0 = scenario default)")
 		block    = fs.Int("block", 0, "block size in bytes (0 = scenario default)")
@@ -85,6 +92,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		TCP:           *useTCP,
 		FreeriderFrac: *frac,
 		CorruptFrac:   *corrupt,
+		AdaptiveFrac:  *adaptive,
+		WhitewashFrac: *wwash,
+		PartialFrac:   *partial,
 		Restarts:      *restarts,
 		ObjectSize:    *objSize,
 		BlockSize:     *block,

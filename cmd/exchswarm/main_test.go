@@ -38,6 +38,68 @@ func TestUnknownScenarioErrors(t *testing.T) {
 	}
 }
 
+// classColumn extracts the per-peer class sequence from a -peers TSV dump:
+// the world-structure fingerprint that -seed must make reproducible.
+func classColumn(t *testing.T, out string) []string {
+	t.Helper()
+	var classes []string
+	inPeers := false
+	for _, line := range strings.Split(out, "\n") {
+		cols := strings.Split(line, "\t")
+		if strings.HasPrefix(line, "peer\tclass\t") {
+			inPeers = true
+			continue
+		}
+		if inPeers && len(cols) > 2 {
+			classes = append(classes, cols[1])
+		}
+	}
+	if len(classes) == 0 {
+		t.Fatalf("no peer rows in output:\n%s", out)
+	}
+	return classes
+}
+
+// TestSeedReproducesWorld is the -seed smoke test: the same seed must build
+// the same world (per-peer class assignment), and a different seed a
+// different one — the live counterpart of exchsim's determinism contract.
+// Wall-clock timings still vary; only structure is pinned.
+func TestSeedReproducesWorld(t *testing.T) {
+	runSeed := func(seed string) []string {
+		var out, errOut strings.Builder
+		args := []string{"-scenario", "mixed", "-nodes", "24", "-frac", "0.4", "-quick", "-peers", "-seed", seed}
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatalf("run -seed %s: %v\nstderr:\n%s", seed, err, errOut.String())
+		}
+		return classColumn(t, out.String())
+	}
+	a, b := runSeed("3"), runSeed("3")
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("same seed built different worlds:\n%v\n%v", a, b)
+	}
+	c := runSeed("4")
+	if strings.Join(a, ",") == strings.Join(c, ",") {
+		t.Fatalf("different seeds built identical worlds:\n%v", a)
+	}
+}
+
+// TestAdversaryFlagsReachScenario: the adversary fractions plumb through to
+// the world builder and every requested class shows up in the peer rows.
+func TestAdversaryFlagsReachScenario(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-scenario", "adversary", "-nodes", "24", "-quick", "-peers", "-seed", "11",
+		"-adaptive", "0.25", "-whitewash", "0.1", "-partial", "0.25"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errOut.String())
+	}
+	got := out.String()
+	for _, class := range []string{"adaptive", "whitewasher", "partial", "sharing"} {
+		if !strings.Contains(got, class) {
+			t.Fatalf("output missing %s peers:\n%s", class, got)
+		}
+	}
+}
+
 // TestQuickFlashCrowd drives a real (small) swarm end to end through the
 // CLI surface: TSV on stdout, progress on stderr, per-peer rows on demand.
 func TestQuickFlashCrowd(t *testing.T) {

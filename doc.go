@@ -18,6 +18,17 @@
 //     NewMediator — plus a swarm harness (RunSwarm, cmd/exchswarm) that
 //     runs hundreds of live peers through declarative scenarios.
 //
+// Peer behavior is declarative and shared across layers: internal/strategy
+// defines population classes — sharers, static free-riders, adaptive
+// free-riders that contribute only while refused, whitewashers that rejoin
+// under fresh identities to shed reputation state, partial sharers with
+// throttled upload slots, and corrupt seeds — and both the simulator
+// (Config.Mix, the figw experiment) and the live swarm (the adversary
+// scenario) consume the same definitions, so figure series and live TSV
+// report identical class labels from one source of truth. The legacy
+// two-class population (Config.FreeriderFrac) is the nil-Mix default and
+// reproduces its historical output byte for byte.
+//
 // Experiments enumerate their parameter grids declaratively and execute
 // them through RunGrid, a bounded worker pool over independent simulation
 // runs. Its determinism contract: a job's effective seed depends only on

@@ -67,6 +67,16 @@ func (e *EMule) Credit(src, dst core.PeerID) float64 {
 	return e.kbits[pair{src: src, dst: dst}]
 }
 
+// OnWhitewash implements sim.WhitewashResetter: a peer that rejoined under a
+// fresh identity carries no pairwise history in either direction.
+func (e *EMule) OnWhitewash(p core.PeerID) {
+	for k := range e.kbits {
+		if k.src == p || k.dst == p {
+			delete(e.kbits, k)
+		}
+	}
+}
+
 // KaZaA reproduces the self-reported "participation level" mechanism: each
 // peer announces a level computed from its claimed upload/download volumes,
 // and servers prioritize higher levels. Because the level is self-reported,
@@ -126,4 +136,12 @@ func (k *KaZaA) Score(_, requester core.PeerID, waited float64) float64 {
 func (k *KaZaA) OnTransfer(src, dst core.PeerID, kbits float64) {
 	k.uploaded[src] += kbits
 	k.downloaded[dst] += kbits
+}
+
+// OnWhitewash implements sim.WhitewashResetter: a whitewashed peer's
+// participation history vanishes, restoring the newcomer's default level —
+// exactly the escape hatch self-reported schemes cannot close.
+func (k *KaZaA) OnWhitewash(p core.PeerID) {
+	delete(k.uploaded, p)
+	delete(k.downloaded, p)
 }

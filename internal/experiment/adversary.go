@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"fmt"
+
+	"barter/internal/core"
+	"barter/internal/credit"
+	"barter/internal/metrics"
+	"barter/internal/sim"
+	"barter/internal/strategy"
+)
+
+// classMin extracts a strategy class's mean download minutes from a result.
+func classMin(label string) func(*sim.Result) float64 {
+	return func(r *sim.Result) float64 { return r.ClassMeanDownloadMin(label) }
+}
+
+// FigW goes beyond the paper's static free-rider (Figure 12) to the richer
+// adversary space the survey literature considers canonical: adaptive
+// free-riders (contribute only while refused), whitewashers (rejoin under a
+// fresh identity to shed reputation state), and partial sharers (throttled
+// upload slots). Each adversary class is swept against a population of
+// sharers plus an equal-sized static free-rider control, under two
+// mechanisms: exchange priority (2-5-way) and a credit ranking (the
+// KaZaA-style participation level, honestly reported, which decays for
+// leeches and is exactly what whitewashing launders).
+func FigW() *Experiment {
+	return &Experiment{
+		ID:          "figw",
+		Title:       "Mean download time vs. adversary fraction: exchange vs. credit ranking (Figure W)",
+		Description: "Sweeps adaptive free-riders, whitewashers, and partial sharers (with a static free-rider control) under exchange priority and a credit ranking.",
+		Run: func(opts Options) (*Report, error) {
+			t := &metrics.Table{
+				Title:  "Figure W",
+				XLabel: "fraction of adversarial peers",
+				YLabel: "mean download time (minutes)",
+			}
+			fracs := []float64{0.1, 0.2, 0.3}
+			if opts.Quick {
+				fracs = []float64{0.15, 0.3}
+			}
+			adversaries := []strategy.Strategy{
+				strategy.AdaptiveFreerider(),
+				strategy.Whitewasher(),
+				strategy.PartialSharer(),
+			}
+			type mech struct {
+				name   string
+				policy core.Policy
+				ranker func() sim.Ranker
+			}
+			mechs := []mech{
+				{name: "exchange", policy: core.Policy2N, ranker: func() sim.Ranker { return nil }},
+				{name: "credit", policy: core.PolicyNoExchange, ranker: func() sim.Ranker { return credit.NewKaZaA(nil) }},
+			}
+			var pts []point
+			for _, frac := range fracs {
+				for _, adv := range adversaries {
+					for _, m := range mechs {
+						cfg := base(opts)
+						cfg.UploadKbps = 40 // the loaded regime, where incentives bite
+						cfg.Policy = m.policy
+						cfg.Mix = strategy.Mix{
+							{Strategy: adv, Frac: frac},
+							{Strategy: strategy.NonSharing(), Frac: frac},
+							{Strategy: strategy.Sharing(), Frac: 1 - 2*frac},
+						}
+						pts = append(pts, point{
+							label: fmt.Sprintf("figw frac=%g %s %s", frac, m.name, adv.Name),
+							cfg:   cfg,
+							// Rankers are stateful: build one per replica (see
+							// runner.Job.Finalize).
+							finalize: func(c sim.Config) sim.Config {
+								c.Ranker = m.ranker()
+								return c
+							},
+							emit: func(rs []*sim.Result) {
+								prefix := m.name + ":" + adv.Name
+								appendAgg(t, prefix+"/"+strategy.LabelSharing, frac, rs, classMin(strategy.LabelSharing))
+								appendAgg(t, prefix+"/"+strategy.LabelNonSharing, frac, rs, classMin(strategy.LabelNonSharing))
+								appendAgg(t, prefix+"/"+adv.Name, frac, rs, classMin(adv.Name))
+								extra := ""
+								if c := rs[0].Class(adv.Name); c != nil && (c.Whitewashes > 0 || c.Flips > 0) {
+									extra = fmt.Sprintf(" (whitewashes %d, flips %d)", c.Whitewashes, c.Flips)
+								}
+								opts.progress("figw frac=%g %s vs %s: sharing %.1f control %.1f adversary %.1f%s",
+									frac, m.name, adv.Name,
+									mean(rs, classMin(strategy.LabelSharing)),
+									mean(rs, classMin(strategy.LabelNonSharing)),
+									mean(rs, classMin(adv.Name)), extra)
+							},
+						})
+					}
+				}
+			}
+			if err := runGrid(opts, pts); err != nil {
+				return nil, err
+			}
+			return &Report{Tables: []*metrics.Table{t}}, nil
+		},
+	}
+}

@@ -266,6 +266,7 @@ func All() []*Experiment {
 		Fig10(),
 		Fig11(),
 		Fig12(),
+		FigW(),
 		AblationPreemption(),
 		AblationCredit(),
 		AblationSearch(),

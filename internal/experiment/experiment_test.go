@@ -41,7 +41,7 @@ func runExp(t *testing.T, id string) *Report {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table2", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"fig9", "fig10", "fig11", "fig12",
+		"fig9", "fig10", "fig11", "fig12", "figw",
 		"ablation-preemption", "ablation-credit", "ablation-search",
 	}
 	all := All()
@@ -254,6 +254,53 @@ func TestFig12GapPersistsAcrossFreeriderFractions(t *testing.T) {
 	}
 	if better < len(sh)-1 {
 		t.Errorf("fig12: sharing beat non-sharing at only %d of %d fractions", better, len(sh))
+	}
+}
+
+func TestFigWAdversaries(t *testing.T) {
+	skipShort(t)
+	rep := runExp(t, "figw")
+	tab := rep.Tables[0]
+	// Every mechanism x adversary x class series must exist with finite,
+	// positive download times at every swept fraction.
+	for _, mech := range []string{"exchange", "credit"} {
+		for _, adv := range []string{"adaptive", "whitewasher", "partial"} {
+			for _, class := range []string{"sharing", "non-sharing", adv} {
+				for _, y := range seriesY(t, tab, fmt.Sprintf("%s:%s/%s", mech, adv, class)) {
+					if math.IsNaN(y) || y <= 0 {
+						t.Fatalf("%s:%s/%s has bad value %v", mech, adv, class, y)
+					}
+				}
+			}
+		}
+	}
+	// The canonical whitewashing result: under the credit ranking the
+	// whitewasher launders its history and clearly beats the static
+	// free-rider control at the lowest adversary fraction, where the
+	// control's participation level has decayed the most.
+	wwCredit := seriesY(t, tab, "credit:whitewasher/whitewasher")
+	ctlCredit := seriesY(t, tab, "credit:whitewasher/non-sharing")
+	if wwCredit[0] >= ctlCredit[0] {
+		t.Errorf("credit ranking: whitewasher %.1f min not faster than control %.1f min",
+			wwCredit[0], ctlCredit[0])
+	}
+	// Under exchange, whitewashing buys nothing: the whitewasher stays in
+	// free-rider territory, far from the sharing class.
+	wwExch := seriesY(t, tab, "exchange:whitewasher/whitewasher")
+	shExch := seriesY(t, tab, "exchange:whitewasher/sharing")
+	if wwExch[0] <= shExch[0] {
+		t.Errorf("exchange: whitewasher %.1f min faster than sharers %.1f min (whitewashing should not pay)",
+			wwExch[0], shExch[0])
+	}
+	// Exchange coerces the adaptive free-rider into contributing: it lands
+	// near the sharing class, well ahead of the static control.
+	adExch := seriesY(t, tab, "exchange:adaptive/adaptive")
+	adCtl := seriesY(t, tab, "exchange:adaptive/non-sharing")
+	for i := range adExch {
+		if adExch[i] >= adCtl[i] {
+			t.Errorf("exchange: adaptive %.1f min not faster than static control %.1f min at point %d",
+				adExch[i], adCtl[i], i)
+		}
 	}
 }
 

@@ -1,0 +1,179 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"barter/internal/core"
+)
+
+// corpusMessages returns one representative of every wire message type, with
+// every field populated, so the fuzzer starts from frames that exercise each
+// per-message codec.
+func corpusMessages() []Message {
+	tree := Tree{
+		Root: 1,
+		Nodes: []TreeNode{
+			{Peer: 2, Object: 10, Parent: -1},
+			{Peer: 3, Object: 11, Parent: 0},
+		},
+	}
+	return []Message{
+		&Hello{Peer: 7, Sharing: true},
+		&Request{Object: 42, Tree: tree},
+		&Cancel{Object: 42},
+		&RingProbe{RingID: 9, Members: []RingMember{
+			{Peer: 1, Gives: 5, Addr: "mem://a"},
+			{Peer: 2, Gives: 6, Addr: "mem://b"},
+		}},
+		&RingAccept{RingID: 9, OK: false, Reason: "no capacity"},
+		&RingCommit{RingID: 9},
+		&RingAbort{RingID: 9},
+		&RingQuit{RingID: 9},
+		&Manifest{Object: 5, Size: 96, Blocks: 3, Digests: [][32]byte{{1}, {2}, {3}}},
+		&Block{Object: 5, Index: 2, RingID: 9, Origin: 1, Recipient: 2, Encrypted: true, Payload: []byte("payload")},
+		&BlockAck{Object: 5, Index: 2, OK: true},
+		&MedDeposit{ExchangeID: 3, Sender: 1, Object: 5, Key: [16]byte{9}},
+		&MedVerify{ExchangeID: 3, Requester: 2, Sender: 1, Object: 5, Samples: []Block{
+			{Object: 5, Index: 0, Origin: 1, Recipient: 2, Encrypted: true, Payload: []byte("x")},
+		}},
+		&MedKey{ExchangeID: 3, Key: [16]byte{9}},
+		&MedReject{ExchangeID: 3, Reason: "digest mismatch"},
+	}
+}
+
+// FuzzDecode feeds arbitrary frames to Decode. The invariants: Decode never
+// panics; a frame that decodes re-encodes into a frame that decodes to the
+// same bytes (a stable round-trip); and a tree that decodes converts to a
+// core tree without panicking.
+func FuzzDecode(f *testing.F) {
+	for _, m := range corpusMessages() {
+		frame, err := Encode(m)
+		if err != nil {
+			f.Fatalf("encode corpus %T: %v", m, err)
+		}
+		f.Add(frame)
+	}
+	// Adversarial seeds: truncated header, unknown type, oversize length
+	// prefix, and an element count far beyond the payload.
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0, 0, 0, 1, 0xff})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	huge := []byte{0, 0, 0, 9, byte(TypeRequest), 0, 0, 0, 1}
+	huge = binary.BigEndian.AppendUint32(huge, 1<<20) // tree claims 2^20 nodes
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input must error, never panic
+		}
+		if req, ok := msg.(*Request); ok {
+			_, _ = req.Tree.ToCoreTree() // must not panic on decoded trees
+		}
+		frame, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		msg2, err := Decode(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		frame2, err := Encode(msg2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(frame, frame2) {
+			t.Fatalf("round-trip not stable:\n%x\n%x", frame, frame2)
+		}
+	})
+}
+
+// TestDecodeRoundTripsCorpus runs the fuzz corpus as a plain unit test, so
+// every message type's round-trip is exercised on every `go test` run, not
+// only under -fuzz.
+func TestDecodeRoundTripsCorpus(t *testing.T) {
+	for _, m := range corpusMessages() {
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		got, err := Decode(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		frame2, err := Encode(got)
+		if err != nil {
+			t.Fatalf("re-encode %T: %v", m, err)
+		}
+		if !bytes.Equal(frame, frame2) {
+			t.Fatalf("%T round-trip differs:\n%x\n%x", m, frame, frame2)
+		}
+	}
+}
+
+// TestDecodeRejectsCountAmplification pins the fuzz-found hardening: a tiny
+// frame claiming a huge element count must be rejected as truncated before
+// any allocation sized by the claim.
+func TestDecodeRejectsCountAmplification(t *testing.T) {
+	cases := map[string][]byte{
+		"tree nodes": func() []byte {
+			payload := binary.BigEndian.AppendUint32(nil, 1) // request object
+			payload = binary.BigEndian.AppendUint32(payload, 2)
+			payload = binary.BigEndian.AppendUint32(payload, 1<<20) // node count
+			return frameFor(TypeRequest, payload)
+		}(),
+		"manifest digests": func() []byte {
+			payload := binary.BigEndian.AppendUint32(nil, 1)
+			payload = binary.BigEndian.AppendUint64(payload, 32)
+			payload = binary.BigEndian.AppendUint32(payload, 1)
+			payload = binary.BigEndian.AppendUint32(payload, 400_000) // digest count
+			return frameFor(TypeManifest, payload)
+		}(),
+		"verify samples": func() []byte {
+			payload := binary.BigEndian.AppendUint64(nil, 1)
+			payload = binary.BigEndian.AppendUint32(payload, 2)
+			payload = binary.BigEndian.AppendUint32(payload, 1)
+			payload = binary.BigEndian.AppendUint32(payload, 5)
+			payload = binary.BigEndian.AppendUint32(payload, 4096) // sample count
+			return frameFor(TypeMedVerify, payload)
+		}(),
+	}
+	for name, frame := range cases {
+		if _, err := Decode(bytes.NewReader(frame)); err == nil {
+			t.Fatalf("%s: amplified count accepted", name)
+		}
+	}
+}
+
+func frameFor(typ Type, payload []byte) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(payload)+1))
+	out = append(out, byte(typ))
+	return append(out, payload...)
+}
+
+// TestTreeRoundTripThroughCore checks the Tree <-> core.Tree conversion both
+// ways on a branching tree.
+func TestTreeRoundTripThroughCore(t *testing.T) {
+	wire := Tree{
+		Root: 1,
+		Nodes: []TreeNode{
+			{Peer: 2, Object: 10, Parent: -1},
+			{Peer: 3, Object: 11, Parent: 0},
+			{Peer: 4, Object: 12, Parent: 0},
+			{Peer: 5, Object: 13, Parent: -1},
+		},
+	}
+	ct, err := wire.ToCoreTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Root != core.PeerID(1) || len(ct.Children) != 2 || len(ct.Children[0].Children) != 2 {
+		t.Fatalf("core tree shape wrong: %+v", ct)
+	}
+	back := FromCoreTree(ct)
+	if len(back.Nodes) != len(wire.Nodes) {
+		t.Fatalf("round-trip node count %d, want %d", len(back.Nodes), len(wire.Nodes))
+	}
+}

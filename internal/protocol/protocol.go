@@ -384,6 +384,22 @@ func (r *reader) take(n int) []byte {
 	return out
 }
 
+// count validates a decoded element count against both a hard cap and the
+// bytes actually remaining (each element needs at least minBytes). Bounding
+// by the remainder matters: pre-allocating from an attacker-claimed count
+// alone would let a few-byte frame demand a multi-megabyte allocation
+// (found by FuzzDecode).
+func (r *reader) count(n, limit, minBytes int) int {
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > limit || n*minBytes > len(r.buf)-r.off {
+		r.err = ErrTruncated
+		return 0
+	}
+	return n
+}
+
 func (r *reader) u8() uint8 {
 	b := r.take(1)
 	if b == nil {
@@ -471,9 +487,8 @@ func encodeTree(w *writer, t Tree) {
 }
 func decodeTree(r *reader) Tree {
 	t := Tree{Root: core.PeerID(r.i32())}
-	n := int(r.u32())
-	if r.err != nil || n > MaxFrame/12 {
-		r.err = ErrTruncated
+	n := r.count(int(r.u32()), MaxFrame/12, 12) // 12 bytes per encoded node
+	if r.err != nil {
 		return t
 	}
 	t.Nodes = make([]TreeNode, 0, n)
@@ -496,9 +511,8 @@ func encodeMembers(w *writer, ms []RingMember) {
 	}
 }
 func decodeMembers(r *reader) []RingMember {
-	n := int(r.u32())
-	if r.err != nil || n > 1024 {
-		r.err = ErrTruncated
+	n := r.count(int(r.u32()), 1024, 10) // 4+4+2 bytes minimum per member
+	if r.err != nil {
 		return nil
 	}
 	out := make([]RingMember, 0, n)
@@ -565,9 +579,9 @@ func (m *Manifest) decode(r *reader) error {
 	m.Object = catalog.ObjectID(r.i32())
 	m.Size = r.u64()
 	m.Blocks = r.u32()
-	n := int(r.u32())
-	if r.err != nil || n > MaxFrame/32 {
-		return ErrTruncated
+	n := r.count(int(r.u32()), MaxFrame/32, 32)
+	if r.err != nil {
+		return r.err
 	}
 	m.Digests = make([][32]byte, 0, n)
 	for i := 0; i < n; i++ {
@@ -647,9 +661,9 @@ func (m *MedVerify) decode(r *reader) error {
 	m.Requester = core.PeerID(r.i32())
 	m.Sender = core.PeerID(r.i32())
 	m.Object = catalog.ObjectID(r.i32())
-	n := int(r.u32())
-	if r.err != nil || n > 4096 {
-		return ErrTruncated
+	n := r.count(int(r.u32()), 4096, 29) // 4+4+8+4+4+1+4 header bytes per block
+	if r.err != nil {
+		return r.err
 	}
 	m.Samples = make([]Block, n)
 	for i := 0; i < n; i++ {

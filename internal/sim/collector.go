@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"barter/internal/metrics"
+	"barter/internal/strategy"
 )
 
 // TypeNonExchange and friends label session classes in results, matching the
@@ -28,6 +29,29 @@ func TypeLabel(ringSize int) string {
 	}
 }
 
+// ClassResult aggregates one strategy class of the population: its label,
+// size, and measurement-window download statistics.
+type ClassResult struct {
+	// Label is the strategy-class name (e.g. "sharing", "adaptive").
+	Label string
+	// Share reports whether the class contributes from the start; it decides
+	// which legacy aggregate (sharing vs non-sharing) the class feeds.
+	Share bool
+	// Peers is the class population size.
+	Peers int
+	// Completed counts the class's completed downloads in the window.
+	Completed int
+	// DownloadTime holds the class's download-time samples (minutes).
+	DownloadTime *metrics.Sample
+	// VolumePerPeerMB is the mean megabytes received per class peer during
+	// the measurement window.
+	VolumePerPeerMB float64
+	// Whitewashes counts identity churns executed by the class; Flips counts
+	// adaptive contribution toggles (both zero for static classes).
+	Whitewashes int
+	Flips       int
+}
+
 // Result aggregates everything one run measures. All times are minutes of
 // virtual time, all volumes kilobytes or megabytes as labeled.
 type Result struct {
@@ -36,6 +60,11 @@ type Result struct {
 	// SimulatedSeconds is the virtual horizon; Events the events executed.
 	SimulatedSeconds float64
 	Events           uint64
+
+	// Classes holds the per-strategy-class results in population-mix order.
+	// For the legacy two-class population this is exactly [non-sharing,
+	// sharing]; richer mixes add one entry per class.
+	Classes []ClassResult
 
 	// CompletedSharing/NonSharing count completed downloads per class in
 	// the measurement window.
@@ -84,6 +113,27 @@ type Result struct {
 	RingSearches       int
 	SearchNodesVisited int
 	SearchWantsChecked int
+}
+
+// Class returns the result entry for the given strategy-class label, or nil
+// if the run's population had no such class.
+func (r *Result) Class(label string) *ClassResult {
+	for i := range r.Classes {
+		if r.Classes[i].Label == label {
+			return &r.Classes[i]
+		}
+	}
+	return nil
+}
+
+// ClassMeanDownloadMin returns the mean download time in minutes for the
+// given strategy class, or NaN if the class is absent or completed nothing.
+func (r *Result) ClassMeanDownloadMin(label string) float64 {
+	c := r.Class(label)
+	if c == nil {
+		return math.NaN()
+	}
+	return c.DownloadTime.Mean()
 }
 
 // MeanDownloadMin returns the mean download time in minutes for the class,
@@ -143,12 +193,49 @@ func (r *Result) Summary() string {
 	fmt.Fprintf(&b, " (exchange fraction %.2f)\n", r.ExchangeFraction)
 	fmt.Fprintf(&b, "volume/peer: sharing %.0f MB, non-sharing %.0f MB\n",
 		r.VolumePerSharingPeerMB, r.VolumePerNonSharingPeerMB)
+	if r.hasRichMix() {
+		for _, c := range r.Classes {
+			fmt.Fprintf(&b, "class %s: %d peers, %d done (mean %.1f min)",
+				c.Label, c.Peers, c.Completed, c.DownloadTime.Mean())
+			if c.Whitewashes > 0 {
+				fmt.Fprintf(&b, ", %d whitewashes", c.Whitewashes)
+			}
+			if c.Flips > 0 {
+				fmt.Fprintf(&b, ", %d flips", c.Flips)
+			}
+			b.WriteByte('\n')
+		}
+	}
 	return b.String()
 }
 
-// collector accumulates run metrics, honoring the warm-up window.
+// hasRichMix reports whether the run used anything beyond the legacy
+// two-class population (whose Summary layout predates per-class results).
+func (r *Result) hasRichMix() bool {
+	if len(r.Classes) != 2 {
+		return len(r.Classes) > 0
+	}
+	return r.Classes[0].Label != strategy.LabelNonSharing || r.Classes[1].Label != strategy.LabelSharing
+}
+
+// classStats accumulates one strategy class's window metrics.
+type classStats struct {
+	dt        metrics.Sample
+	recvKbits float64
+}
+
+// collector accumulates run metrics, honoring the warm-up window. Per-class
+// metrics are kept alongside (not instead of) the legacy sharing/non-sharing
+// aggregates: the legacy accumulators are fed in event order so a legacy
+// two-class run reproduces its historical output byte for byte, float
+// summation order included.
 type collector struct {
 	warmupAt float64
+	mix      strategy.Mix
+
+	classes     []classStats
+	whitewashes []int // per class, counted over the whole run
+	classFlips  []int // adaptive contribution toggles, per class
 
 	dtSharing metrics.Sample
 	dtNon     metrics.Sample
@@ -175,9 +262,13 @@ type collector struct {
 	searchWants  int
 }
 
-func newCollector(warmupAt float64) *collector {
+func newCollector(warmupAt float64, mix strategy.Mix) *collector {
 	return &collector{
 		warmupAt:     warmupAt,
+		mix:          mix,
+		classes:      make([]classStats, len(mix)),
+		whitewashes:  make([]int, len(mix)),
+		classFlips:   make([]int, len(mix)),
 		volume:       metrics.NewGrouped(),
 		waiting:      metrics.NewGrouped(),
 		sessionCount: make(map[string]int),
@@ -188,22 +279,24 @@ func newCollector(warmupAt float64) *collector {
 
 func (c *collector) inWindow(now float64) bool { return now >= c.warmupAt }
 
-func (c *collector) downloadDone(now float64, sharing bool, minutes float64) {
+func (c *collector) downloadDone(now float64, class int, minutes float64) {
 	if !c.inWindow(now) {
 		return
 	}
-	if sharing {
+	c.classes[class].dt.Add(minutes)
+	if c.mix[class].Share {
 		c.dtSharing.Add(minutes)
 	} else {
 		c.dtNon.Add(minutes)
 	}
 }
 
-func (c *collector) blockReceived(now float64, sharing bool, kbits float64) {
+func (c *collector) blockReceived(now float64, class int, kbits float64) {
 	if !c.inWindow(now) {
 		return
 	}
-	if sharing {
+	c.classes[class].recvKbits += kbits
+	if c.mix[class].Share {
 		c.recvSharingKbits += kbits
 	} else {
 		c.recvNonKbits += kbits
@@ -232,7 +325,15 @@ func (c *collector) ringStarted(now float64, size int) {
 	c.ringsStarted[size]++
 }
 
-func (c *collector) result(policy string, horizon float64, events uint64, sharingPeers, nonSharingPeers int) *Result {
+func (c *collector) result(policy string, horizon float64, events uint64, classCounts []int) *Result {
+	sharingPeers, nonSharingPeers := 0, 0
+	for i, cl := range c.mix {
+		if cl.Share {
+			sharingPeers += classCounts[i]
+		} else {
+			nonSharingPeers += classCounts[i]
+		}
+	}
 	res := &Result{
 		Policy:                 policy,
 		SimulatedSeconds:       horizon,
@@ -263,6 +364,22 @@ func (c *collector) result(policy string, horizon float64, events uint64, sharin
 	}
 	if nonSharingPeers > 0 {
 		res.VolumePerNonSharingPeerMB = c.recvNonKbits / float64(nonSharingPeers) / 8000
+	}
+	res.Classes = make([]ClassResult, len(c.mix))
+	for i, cl := range c.mix {
+		cr := ClassResult{
+			Label:        cl.Name,
+			Share:        cl.Share,
+			Peers:        classCounts[i],
+			Completed:    c.classes[i].dt.N(),
+			DownloadTime: &c.classes[i].dt,
+			Whitewashes:  c.whitewashes[i],
+			Flips:        c.classFlips[i],
+		}
+		if classCounts[i] > 0 {
+			cr.VolumePerPeerMB = c.classes[i].recvKbits / float64(classCounts[i]) / 8000
+		}
+		res.Classes[i] = cr
 	}
 	return res
 }

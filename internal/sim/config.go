@@ -11,6 +11,7 @@ import (
 
 	"barter/internal/catalog"
 	"barter/internal/core"
+	"barter/internal/strategy"
 )
 
 // Ranker orders non-exchange service. The default (nil) is
@@ -24,6 +25,15 @@ type Ranker interface {
 	// OnTransfer records kbits flowing from server src to requester dst so
 	// the mechanism can update its books.
 	OnTransfer(src, dst core.PeerID, kbits float64)
+}
+
+// WhitewashResetter is implemented by Rankers whose books can be wiped for a
+// single peer. When a whitewashing peer rejoins under a fresh identity the
+// engine calls OnWhitewash so any mechanism keyed by identity (credit
+// histories, participation levels) forgets it — exactly the state the attack
+// sheds in a real network.
+type WhitewashResetter interface {
+	OnWhitewash(peer core.PeerID)
 }
 
 // Config holds every parameter of one simulation run. DefaultConfig returns
@@ -64,8 +74,27 @@ type Config struct {
 	MaxPending int
 
 	// FreeriderFrac is the fraction of peers that share nothing
-	// (Table II: 50%).
+	// (Table II: 50%). It is shorthand for the two-class legacy mix; when
+	// Mix is set it is ignored.
 	FreeriderFrac float64
+
+	// Mix declares the population's strategy classes (see internal/strategy):
+	// an ordered list of weighted peer behaviors — sharers, static
+	// free-riders, adaptive free-riders, whitewashers, partial sharers. Nil
+	// means strategy.LegacyMix(FreeriderFrac), which reproduces the paper's
+	// two-class population byte for byte.
+	Mix strategy.Mix
+
+	// AdaptivePatience is how long (simulated seconds) an adaptive
+	// free-rider lets one of its downloads starve before it starts
+	// contributing, and how stale a pending download must be to keep it
+	// contributing (default 600).
+	AdaptivePatience float64
+	// WhitewashInterval is the period (simulated seconds) between identity
+	// churns of whitewashing peers (default 7200). Each churn drops the
+	// peer's queue positions and pending downloads and resets any
+	// WhitewashResetter ranker state for it.
+	WhitewashInterval float64
 
 	// Policy selects the exchange mechanism under test.
 	Policy core.Policy
@@ -127,6 +156,8 @@ func DefaultConfig() Config {
 		IRQCapacity:       1000,
 		MaxPending:        6,
 		FreeriderFrac:     0.5,
+		AdaptivePatience:  600,
+		WhitewashInterval: 7200,
 		Policy:            core.Policy2N,
 		LookupMax:         10,
 		RequestFanout:     4,
@@ -170,11 +201,49 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: WarmupFrac = %v, want [0, 1)", c.WarmupFrac)
 	case c.EvictionInterval <= 0 || c.RetryInterval <= 0:
 		return fmt.Errorf("sim: EvictionInterval and RetryInterval must be positive")
+	case c.AdaptivePatience < 0 || c.WhitewashInterval < 0:
+		return fmt.Errorf("sim: AdaptivePatience and WhitewashInterval must be non-negative")
+	}
+	if c.Mix != nil {
+		if err := c.Mix.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		for _, cl := range c.Mix {
+			if cl.Corrupt {
+				return fmt.Errorf("sim: strategy %q: corrupt peers are only meaningful in the live swarm (block validation is not simulated)", cl.Name)
+			}
+		}
 	}
 	if err := c.Policy.Validate(); err != nil {
 		return err
 	}
 	return c.Catalog.Validate()
+}
+
+// effectiveMix returns the population mix the run uses: the explicit Mix, or
+// the paper's two-class legacy mix derived from FreeriderFrac.
+func (c Config) effectiveMix() strategy.Mix {
+	if c.Mix != nil {
+		return c.Mix
+	}
+	return strategy.LegacyMix(c.FreeriderFrac)
+}
+
+// adaptivePatience and whitewashInterval fall back to the documented
+// defaults when a caller builds a Config by hand and leaves them zero, so
+// adaptive and whitewashing classes always have a working clock.
+func (c Config) adaptivePatience() float64 {
+	if c.AdaptivePatience > 0 {
+		return c.AdaptivePatience
+	}
+	return 600
+}
+
+func (c Config) whitewashInterval() float64 {
+	if c.WhitewashInterval > 0 {
+		return c.WhitewashInterval
+	}
+	return 7200
 }
 
 // UploadSlots returns the per-peer number of upload slots.

@@ -10,6 +10,7 @@ import (
 	"barter/internal/index"
 	"barter/internal/perfstats"
 	"barter/internal/rng"
+	"barter/internal/strategy"
 )
 
 // Sim is one simulation run: a deterministic, single-threaded discrete-event
@@ -46,8 +47,11 @@ type Sim struct {
 	col     *collector
 
 	ulSlots, dlSlots int
-	sharingPeers     int
-	ran              bool
+	// mix is the run's population mix (peers hold pointers into it) and
+	// classCounts the per-class population sizes in mix order.
+	mix         strategy.Mix
+	classCounts []int
+	ran         bool
 
 	// Scratch buffers, reused across events so the hot path stays
 	// allocation-free at steady state. Each is used only within a single
@@ -81,6 +85,7 @@ func New(cfg Config) (*Sim, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: build catalog: %w", err)
 	}
+	mix := cfg.effectiveMix()
 	s := &Sim{
 		cfg:     cfg,
 		q:       eventq.New(),
@@ -88,9 +93,10 @@ func New(cfg Config) (*Sim, error) {
 		cat:     cat,
 		holders: index.NewMultimap[catalog.ObjectID, core.PeerID](),
 		wanters: index.NewMultimap[catalog.ObjectID, core.PeerID](),
-		col:     newCollector(cfg.Duration * cfg.WarmupFrac),
+		col:     newCollector(cfg.Duration*cfg.WarmupFrac, mix),
 		ulSlots: cfg.UploadSlots(),
 		dlSlots: cfg.DownloadSlots(),
+		mix:     mix,
 	}
 	s.graph = core.Graph{
 		Adj:     s.adjacency,
@@ -99,23 +105,28 @@ func New(cfg Config) (*Sim, error) {
 		Scratch: core.NewSearchScratch(cfg.NumPeers),
 	}
 
-	// Population: exactly round(frac*N) free-riders, assigned by random
-	// permutation so peer ids carry no class information.
-	free := freeriderAssignment(engRNG, cfg)
+	// Population: class counts apportioned over the mix, assigned by random
+	// permutation so peer ids carry no class information. This draw must stay
+	// the first consumer of the engine stream so PeerClasses stays aligned
+	// with New; for a legacy mix it consumes exactly the permutation the
+	// historical free-rider draw did.
+	classOf := classAssignment(engRNG, mix, cfg.NumPeers)
+	s.classCounts = mix.Counts(cfg.NumPeers)
 	s.peers = make([]*peerState, cfg.NumPeers)
 	for i := range s.peers {
+		st := &s.mix[classOf[i]].Strategy
 		p := &peerState{
 			id:       core.PeerID(i),
-			sharing:  !free[i],
+			class:    classOf[i],
+			strat:    st,
+			sharing:  st.Share,
 			online:   true,
+			ulSlots:  st.SlotCap(s.ulSlots),
 			interest: cat.NewInterest(engRNG),
 			store:    make(map[catalog.ObjectID]bool),
 			pending:  make(map[catalog.ObjectID]*download),
 			irqIndex: make(map[irqKey]*request),
 			storeCap: engRNG.IntRange(cfg.StorageMinObjects, cfg.StorageMaxObjects),
-		}
-		if !free[i] {
-			s.sharingPeers++
 		}
 		for _, o := range cat.InitialStore(p.interest, p.storeCap, engRNG) {
 			p.store[o] = true
@@ -132,31 +143,34 @@ func New(cfg Config) (*Sim, error) {
 		s.after(engRNG.Float64()*60, func(float64) { s.issueRequests(s.peers[id]) })
 	}
 	s.after(cfg.EvictionInterval, s.evictionSweep)
+	// Whitewash clocks, jittered so a cohort does not churn in lockstep.
+	// Scheduling these after the burst loop keeps the RNG stream prefix of
+	// legacy mixes (which have no whitewashers) untouched.
+	for _, p := range s.peers {
+		if p.strat.Whitewash {
+			s.after(cfg.whitewashInterval()*(0.5+engRNG.Float64()), func(float64) { s.whitewash(p) })
+		}
+	}
 	return s, nil
 }
 
-// freeriderAssignment draws which peers share nothing. It must be the first
-// consumer of the engine stream so PeerClasses stays aligned with New.
-func freeriderAssignment(r *rng.RNG, cfg Config) []bool {
-	nFree := int(cfg.FreeriderFrac*float64(cfg.NumPeers) + 0.5)
-	free := make([]bool, cfg.NumPeers)
-	for i, p := range r.Perm(cfg.NumPeers) {
-		if i < nFree {
-			free[p] = true
-		}
-	}
-	return free
+// classAssignment draws the per-peer class indexes for the mix. It must be
+// the first consumer of the engine stream so PeerClasses stays aligned with
+// New.
+func classAssignment(r *rng.RNG, mix strategy.Mix, n int) []int {
+	return mix.Assign(r.Perm(n))
 }
 
 // PeerClasses returns, per peer id, whether New(cfg) will make that peer a
-// sharer, without constructing the simulation. External mechanisms that key
-// behavior on class (e.g. the KaZaA cheat model, where exactly the
-// free-riders misreport) use this to stay aligned with the run.
+// contributor from the start, without constructing the simulation. External
+// mechanisms that key behavior on class (e.g. the KaZaA cheat model, where
+// exactly the free-riders misreport) use this to stay aligned with the run.
 func PeerClasses(cfg Config) map[core.PeerID]bool {
-	free := freeriderAssignment(rng.New(cfg.Seed).Split(2), cfg)
+	mix := cfg.effectiveMix()
+	classOf := classAssignment(rng.New(cfg.Seed).Split(2), mix, cfg.NumPeers)
 	classes := make(map[core.PeerID]bool, cfg.NumPeers)
-	for i, f := range free {
-		classes[core.PeerID(i)] = !f
+	for i, c := range classOf {
+		classes[core.PeerID(i)] = mix[c].Share
 	}
 	return classes
 }
@@ -188,8 +202,7 @@ func (s *Sim) Run() (*Result, error) {
 			}
 		}
 	}
-	res := s.col.result(s.cfg.Policy.String(), s.q.Now(), s.q.Fired(),
-		s.sharingPeers, s.cfg.NumPeers-s.sharingPeers)
+	res := s.col.result(s.cfg.Policy.String(), s.q.Now(), s.q.Fired(), s.classCounts)
 	perfstats.AddRun(perfstats.Snapshot{
 		Runs:               1,
 		Events:             res.Events,
@@ -379,6 +392,13 @@ func (s *Sim) startDownload(p *peerState, obj catalog.ObjectID, cands []core.Pee
 	}
 	p.addPending(dl)
 	s.wanters.Add(obj, p.id)
+	if p.strat.Adaptive {
+		// Adaptive free-riders contribute only while refused: arm a starvation
+		// check that flips the peer to contributing if this download is still
+		// pending after the patience window.
+		adl := dl
+		s.after(s.cfg.adaptivePatience(), func(float64) { s.adaptiveCheck(p, adl) })
+	}
 
 	// "Prior to transmission of a request for object o, the peer inspects
 	// the entire Request Tree to see if any peer provides o."
@@ -506,7 +526,7 @@ func (s *Sim) validateRing(ring *core.Ring) string {
 		case np.pending[m.Gives] == nil:
 			return "successor-lost-interest"
 		}
-		if !pm.hasFreeUploadSlot(s.ulSlots) {
+		if !pm.hasFreeUploadSlot() {
 			if s.cfg.DisablePreemption || pm.preemptibleUpload() == nil {
 				return "no-upload-capacity"
 			}
@@ -541,7 +561,7 @@ func (s *Sim) startRing(ring *core.Ring) {
 	// Reclaim upload slots.
 	for _, m := range ring.Members {
 		pm := s.peers[m.Peer]
-		if !pm.hasFreeUploadSlot(s.ulSlots) {
+		if !pm.hasFreeUploadSlot() {
 			victim := pm.preemptibleUpload()
 			if victim == nil {
 				// A replacement above raced away the preemptible session;
@@ -627,7 +647,7 @@ func (s *Sim) onBlock(sess *session) {
 	dst := s.peers[sess.dst]
 	dl := sess.dl
 	dl.receivedKbits += s.cfg.BlockKbits
-	s.col.blockReceived(now, dst.sharing, s.cfg.BlockKbits)
+	s.col.blockReceived(now, dst.class, s.cfg.BlockKbits)
 	if s.cfg.Ranker != nil {
 		s.cfg.Ranker.OnTransfer(sess.src, sess.dst, s.cfg.BlockKbits)
 	}
@@ -688,7 +708,7 @@ func (s *Sim) dissolveRing(rs *ringState, reschedule bool) {
 
 func (s *Sim) completeDownload(p *peerState, dl *download) {
 	now := s.q.Now()
-	s.col.downloadDone(now, p.sharing, (now-dl.requestedAt)/60)
+	s.col.downloadDone(now, p.class, (now-dl.requestedAt)/60)
 
 	// Ordering matters: clear the pending state and register the new
 	// holding first, so any scheduling triggered by the teardown below sees
@@ -716,6 +736,12 @@ func (s *Sim) completeDownload(p *peerState, dl *download) {
 		s.announceNewHolding(p, dl.object)
 	}
 	s.issueRequests(p)
+	// An adaptive peer that is no longer starved stops contributing. The
+	// check runs after issueRequests: freshly issued downloads have
+	// requestedAt == now and cannot count as starved.
+	if p.strat.Adaptive && p.sharing && !s.anyStarvedPending(p, now) {
+		s.stopContributing(p)
+	}
 }
 
 // announceNewHolding lets servers that p still has live requests with learn
@@ -761,12 +787,12 @@ func (s *Sim) tryServe(p *peerState) {
 		return
 	}
 	// Exchanges claim free capacity first.
-	for p.hasFreeUploadSlot(s.ulSlots) {
+	for p.hasFreeUploadSlot() {
 		if !s.tryExchange(p, p.wants(), nil) {
 			break
 		}
 	}
-	for p.hasFreeUploadSlot(s.ulSlots) {
+	for p.hasFreeUploadSlot() {
 		e := s.pickWaiting(p)
 		if e == nil {
 			return
@@ -949,8 +975,98 @@ func (s *Sim) RejoinPeer(id core.PeerID) {
 	s.issueRequests(p)
 }
 
-// PeerIsSharing reports the class of a peer (exported for tests/examples).
+// --- strategy machinery ------------------------------------------------------
+
+// adaptiveCheck fires one patience window after an adaptive peer issued a
+// download: if that same download is still pending, the peer is being
+// starved and starts contributing.
+func (s *Sim) adaptiveCheck(p *peerState, dl *download) {
+	if !p.online || p.sharing {
+		return
+	}
+	if p.pending[dl.object] != dl {
+		return // completed or abandoned in the meantime
+	}
+	s.startContributing(p)
+}
+
+// anyStarvedPending reports whether any of the peer's pending downloads has
+// been waiting longer than the patience window.
+func (s *Sim) anyStarvedPending(p *peerState, now float64) bool {
+	patience := s.cfg.adaptivePatience()
+	for _, obj := range p.pendingOrder {
+		if now-p.pending[obj].requestedAt >= patience {
+			return true
+		}
+	}
+	return false
+}
+
+// startContributing turns a non-sharing peer into a contributor: its
+// holdings enter the lookup index, so requesters (and ring searches) can
+// find it from now on.
+func (s *Sim) startContributing(p *peerState) {
+	if p.sharing {
+		return
+	}
+	p.sharing = true
+	s.col.classFlips[p.class]++
+	for o := range p.store {
+		s.addHolder(o, p.id)
+	}
+}
+
+// stopContributing reverts a peer to free-riding: its holdings leave the
+// lookup index, its running uploads terminate (dissolving any rings they
+// anchor), and its queued requests are dropped — requesters retry elsewhere.
+func (s *Sim) stopContributing(p *peerState) {
+	if !p.sharing {
+		return
+	}
+	p.sharing = false
+	s.col.classFlips[p.class]++
+	for o := range p.store {
+		s.removeHolder(o, p.id)
+	}
+	// Snapshot uploads: terminations mutate p.uploads underneath us. The
+	// scratch is free here: completeDownload's own snapshot use has finished
+	// by the time it calls this, and no other user is on the stack.
+	ups := append(s.sessScratch[:0], p.uploads...)
+	s.sessScratch = ups
+	for _, up := range ups {
+		s.terminateSession(up, true)
+	}
+	for i, e := range p.irq {
+		s.retireRequest(e)
+		p.irq[i] = nil
+	}
+	p.irq = p.irq[:0]
+	clear(p.irqIndex)
+}
+
+// whitewash executes one identity churn for a whitewashing peer: it departs
+// (dropping queue positions, transfers, and pending downloads), any
+// identity-keyed ranker state is wiped, and it rejoins fresh — then the next
+// churn is armed. The paper's history-free exchange mechanism is indifferent
+// to this; history-based rankers forget everything they knew about the peer.
+func (s *Sim) whitewash(p *peerState) {
+	if p.online {
+		s.DisconnectPeer(p.id)
+		if rs, ok := s.cfg.Ranker.(WhitewashResetter); ok {
+			rs.OnWhitewash(p.id)
+		}
+		s.col.whitewashes[p.class]++
+		s.RejoinPeer(p.id)
+	}
+	s.after(s.cfg.whitewashInterval(), func(float64) { s.whitewash(p) })
+}
+
+// PeerIsSharing reports whether a peer is currently contributing (exported
+// for tests/examples; adaptive peers toggle this at runtime).
 func (s *Sim) PeerIsSharing(id core.PeerID) bool { return s.peers[id].sharing }
+
+// PeerClassLabel reports the strategy-class label of a peer.
+func (s *Sim) PeerClassLabel(id core.PeerID) string { return s.peers[id].strat.Name }
 
 // SearchOnce runs one ring search rooted at the given peer under an
 // arbitrary policy without mutating any state. It reports whether a

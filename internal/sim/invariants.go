@@ -25,8 +25,11 @@ func (s *Sim) CheckInvariants() error {
 }
 
 func (s *Sim) checkPeer(p *peerState) error {
-	if len(p.uploads) > s.ulSlots {
-		return fmt.Errorf("%d uploads exceed %d slots", len(p.uploads), s.ulSlots)
+	if p.ulSlots < 1 || p.ulSlots > s.ulSlots {
+		return fmt.Errorf("upload slot cap %d outside [1, %d]", p.ulSlots, s.ulSlots)
+	}
+	if len(p.uploads) > p.ulSlots {
+		return fmt.Errorf("%d uploads exceed %d slots", len(p.uploads), p.ulSlots)
 	}
 	if len(p.downloads) > s.dlSlots {
 		return fmt.Errorf("%d downloads exceed %d slots", len(p.downloads), s.dlSlots)

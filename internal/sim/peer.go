@@ -4,6 +4,7 @@ import (
 	"barter/internal/catalog"
 	"barter/internal/core"
 	"barter/internal/eventq"
+	"barter/internal/strategy"
 )
 
 // download tracks one outstanding object download at a requesting peer. It
@@ -78,9 +79,18 @@ type ringState struct {
 
 // peerState is the full simulator state of one peer.
 type peerState struct {
-	id      core.PeerID
+	id core.PeerID
+	// class indexes the run's population mix; strat points at the class's
+	// strategy definition (stable for the run).
+	class int
+	strat *strategy.Strategy
+	// sharing is the peer's current contribution state. For most classes it
+	// is fixed at strat.Share; adaptive free-riders toggle it at runtime.
 	sharing bool
 	online  bool
+	// ulSlots is this peer's upload-slot capacity: the configured slots,
+	// throttled by the strategy for partial sharers.
+	ulSlots int
 
 	interest *catalog.Interest
 	store    map[catalog.ObjectID]bool
@@ -106,7 +116,7 @@ type peerState struct {
 	want1       [1]core.Want
 }
 
-func (p *peerState) hasFreeUploadSlot(slots int) bool   { return len(p.uploads) < slots }
+func (p *peerState) hasFreeUploadSlot() bool            { return len(p.uploads) < p.ulSlots }
 func (p *peerState) hasFreeDownloadSlot(slots int) bool { return len(p.downloads) < slots }
 
 // uploadsInExchange reports whether any of the peer's exchange uploads

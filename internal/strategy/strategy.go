@@ -1,0 +1,227 @@
+// Package strategy defines the declarative peer-behavior model shared by the
+// discrete-event simulator (internal/sim) and the live swarm harness
+// (internal/swarm): what a peer contributes, how it cheats, and how it
+// manages its identity. Both layers consume the same Strategy values, so an
+// experiment figure and a live-network scenario report the same class labels
+// from the same source of truth.
+//
+// A Strategy is purely declarative — it carries no timing or engine state.
+// Each layer supplies its own clocks (the simulator in virtual seconds, the
+// swarm in wall time) and interprets the flags with its own machinery:
+//
+//   - Share: the peer serves others from the start. Share false is the
+//     classic free-rider of the paper's Table II.
+//   - UploadSlotFrac: a sharer that throttles its upload capacity to a
+//     fraction of the configured slots (the "partial sharer" adversary).
+//   - Adaptive: contributes only while refused — the peer starts as a
+//     free-rider and begins serving once its own downloads starve, the
+//     canonical probe of whether an incentive scheme coerces contribution.
+//   - Whitewash: periodically sheds its identity (and with it any
+//     reputation or credit state) and rejoins fresh — the canonical attack
+//     on history-based incentive schemes.
+//   - Corrupt: serves junk payloads (live swarm only; the simulator does not
+//     model block validation).
+//
+// A population is a Mix: an ordered list of weighted classes. Mix.Counts and
+// Mix.Assign turn a mix plus a random permutation into a deterministic
+// class assignment; LegacyMix reproduces the paper's two-class
+// sharing/non-sharing split exactly, so refactored callers keep
+// byte-identical output.
+package strategy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Canonical class labels. These strings are the series names that appear in
+// figure TSV ("<policy>/<label>") and swarm TSV ("live/<label>").
+const (
+	LabelSharing     = "sharing"
+	LabelNonSharing  = "non-sharing"
+	LabelAdaptive    = "adaptive"
+	LabelWhitewasher = "whitewasher"
+	LabelPartial     = "partial"
+	LabelCorrupt     = "corrupt"
+)
+
+// Strategy is one peer-behavior class.
+type Strategy struct {
+	// Name labels the class in results; canonical strategies use the Label*
+	// constants.
+	Name string
+	// Share marks the peer as a contributor from the start.
+	Share bool
+	// UploadSlotFrac, when in (0, 1), throttles the peer's upload slots to
+	// that fraction of the configured capacity (at least one slot). Zero or
+	// >= 1 means full capacity.
+	UploadSlotFrac float64
+	// Adaptive peers contribute only while refused: they start without
+	// sharing and begin serving when their own downloads starve.
+	Adaptive bool
+	// Whitewash peers periodically shed their identity (dropping their
+	// queue positions, pending downloads, and any reputation/credit state)
+	// and rejoin fresh.
+	Whitewash bool
+	// Corrupt peers serve junk payloads (live swarm only).
+	Corrupt bool
+}
+
+// SlotCap returns the number of upload slots the strategy grants out of the
+// configured per-peer slots: full capacity unless UploadSlotFrac throttles
+// it, and never below one slot.
+func (s Strategy) SlotCap(slots int) int {
+	if s.UploadSlotFrac <= 0 || s.UploadSlotFrac >= 1 {
+		return slots
+	}
+	c := int(s.UploadSlotFrac*float64(slots) + 0.5)
+	if c < 1 {
+		c = 1
+	}
+	if c > slots {
+		c = slots
+	}
+	return c
+}
+
+// Validate reports the first problem with the strategy definition, if any.
+func (s Strategy) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("strategy: empty class name")
+	}
+	if s.UploadSlotFrac < 0 || s.UploadSlotFrac > 1 {
+		return fmt.Errorf("strategy %q: UploadSlotFrac %g outside [0, 1]", s.Name, s.UploadSlotFrac)
+	}
+	if s.UploadSlotFrac > 0 && s.UploadSlotFrac < 1 && !s.Share {
+		return fmt.Errorf("strategy %q: UploadSlotFrac set on a non-sharing class", s.Name)
+	}
+	return nil
+}
+
+// The canonical strategies.
+
+// Sharing is the paper's contributing peer.
+func Sharing() Strategy { return Strategy{Name: LabelSharing, Share: true} }
+
+// NonSharing is the paper's static free-rider: it shares nothing, ever.
+func NonSharing() Strategy { return Strategy{Name: LabelNonSharing} }
+
+// AdaptiveFreerider contributes only while refused: it free-rides until its
+// own downloads starve, serves while starved, and stops once served.
+func AdaptiveFreerider() Strategy { return Strategy{Name: LabelAdaptive, Adaptive: true} }
+
+// Whitewasher is a free-rider that periodically rejoins under a fresh
+// identity to shed reputation/credit state.
+func Whitewasher() Strategy { return Strategy{Name: LabelWhitewasher, Whitewash: true} }
+
+// PartialSharer contributes through a quarter of the configured upload
+// slots: nominally a sharer, materially a throttler.
+func PartialSharer() Strategy {
+	return Strategy{Name: LabelPartial, Share: true, UploadSlotFrac: 0.25}
+}
+
+// Corrupt is a contributor that serves junk payloads (live swarm only).
+func Corrupt() Strategy { return Strategy{Name: LabelCorrupt, Share: true, Corrupt: true} }
+
+// CanonicalLabels lists every built-in class label in presentation order;
+// result tables that enumerate classes dynamically use this order so columns
+// stay stable across scenarios.
+func CanonicalLabels() []string {
+	return []string{LabelSharing, LabelNonSharing, LabelAdaptive, LabelWhitewasher, LabelPartial, LabelCorrupt}
+}
+
+// Class is one weighted entry of a population mix.
+type Class struct {
+	Strategy
+	// Frac is the fraction of the population assigned to this class.
+	Frac float64
+}
+
+// Mix is an ordered population mix. Order matters: class counts are assigned
+// to the leading positions of the run's random permutation in mix order, so
+// the same mix always produces the same assignment from the same draw.
+type Mix []Class
+
+// LegacyMix is the paper's two-class population: freeriderFrac of the peers
+// share nothing, the rest share. The non-sharing class comes first so the
+// assignment consumes the run permutation exactly as the historical
+// free-rider draw did, keeping refactored output byte-identical.
+func LegacyMix(freeriderFrac float64) Mix {
+	return Mix{
+		{Strategy: NonSharing(), Frac: freeriderFrac},
+		{Strategy: Sharing(), Frac: 1 - freeriderFrac},
+	}
+}
+
+// Validate reports the first problem with the mix, if any: no classes,
+// invalid strategies, duplicate labels, fractions outside [0, 1], or
+// fractions not summing to one.
+func (m Mix) Validate() error {
+	if len(m) == 0 {
+		return fmt.Errorf("strategy: empty mix")
+	}
+	seen := make(map[string]bool, len(m))
+	sum := 0.0
+	for _, c := range m {
+		if err := c.Strategy.Validate(); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("strategy: duplicate class %q in mix", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Frac < 0 || c.Frac > 1 {
+			return fmt.Errorf("strategy: class %q fraction %g outside [0, 1]", c.Name, c.Frac)
+		}
+		sum += c.Frac
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("strategy: mix fractions sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// Counts apportions n peers over the mix by cumulative rounding: class k
+// receives round(cum_k*n) - round(cum_{k-1}*n) peers, and the last class
+// absorbs any rounding slack so the counts always total n. For a two-class
+// mix this reproduces the historical round(frac*n) free-rider count exactly.
+func (m Mix) Counts(n int) []int {
+	counts := make([]int, len(m))
+	cum := 0.0
+	prev := 0
+	for i, c := range m {
+		cum += c.Frac
+		bound := int(cum*float64(n) + 0.5)
+		if i == len(m)-1 {
+			bound = n
+		}
+		if bound < prev {
+			bound = prev
+		}
+		if bound > n {
+			bound = n
+		}
+		counts[i] = bound - prev
+		prev = bound
+	}
+	return counts
+}
+
+// Assign maps each peer position to its class index: the first Counts[0]
+// entries of perm get class 0, the next Counts[1] get class 1, and so on.
+// perm is a permutation of [0, n) (typically rng.Perm), so peer ids carry no
+// class information.
+func (m Mix) Assign(perm []int) []int {
+	classOf := make([]int, len(perm))
+	counts := m.Counts(len(perm))
+	class, used := 0, 0
+	for _, p := range perm {
+		for class < len(counts) && used >= counts[class] {
+			class++
+			used = 0
+		}
+		classOf[p] = class
+		used++
+	}
+	return classOf
+}

@@ -1,0 +1,151 @@
+package strategy
+
+import (
+	"testing"
+
+	"barter/internal/rng"
+)
+
+func TestCanonicalStrategiesValid(t *testing.T) {
+	for _, s := range []Strategy{Sharing(), NonSharing(), AdaptiveFreerider(), Whitewasher(), PartialSharer(), Corrupt()} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+	labels := CanonicalLabels()
+	if len(labels) != 6 {
+		t.Fatalf("CanonicalLabels = %v", labels)
+	}
+}
+
+func TestStrategyValidateRejects(t *testing.T) {
+	cases := map[string]Strategy{
+		"empty name":         {},
+		"bad frac":           {Name: "x", UploadSlotFrac: 1.5},
+		"frac on non-sharer": {Name: "x", UploadSlotFrac: 0.5},
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSlotCap(t *testing.T) {
+	cases := []struct {
+		frac  float64
+		slots int
+		want  int
+	}{
+		{0, 8, 8},     // unset: full capacity
+		{1, 8, 8},     // full fraction
+		{0.25, 8, 2},  // quarter of 8
+		{0.25, 4, 1},  // rounds to 1
+		{0.25, 1, 1},  // never below one slot
+		{0.1, 2, 1},   // floor at one
+		{0.9, 2, 2},   // rounds up to full
+		{0.5, 10, 5},  // exact half
+		{0.26, 10, 3}, // round-to-nearest
+	}
+	for _, c := range cases {
+		s := Strategy{Name: "x", Share: true, UploadSlotFrac: c.frac}
+		if got := s.SlotCap(c.slots); got != c.want {
+			t.Fatalf("SlotCap(frac=%g, slots=%d) = %d, want %d", c.frac, c.slots, got, c.want)
+		}
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	if err := LegacyMix(0.5).Validate(); err != nil {
+		t.Fatalf("legacy mix invalid: %v", err)
+	}
+	bad := []Mix{
+		{},
+		{{Strategy: Sharing(), Frac: 0.5}}, // sums to 0.5
+		{{Strategy: Sharing(), Frac: 0.5}, {Strategy: Sharing(), Frac: 0.5}},     // duplicate label
+		{{Strategy: Sharing(), Frac: -0.1}, {Strategy: NonSharing(), Frac: 1.1}}, // out of range
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("bad mix %d accepted", i)
+		}
+	}
+}
+
+// TestCountsMatchLegacyRounding pins the byte-identity contract: for the
+// two-class legacy mix, Counts must reproduce round(frac*n) free-riders for
+// every fraction and population size the figures sweep.
+func TestCountsMatchLegacyRounding(t *testing.T) {
+	for _, n := range []int{2, 3, 30, 200, 201} {
+		for _, frac := range []float64{0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.8, 0.9, 1} {
+			counts := LegacyMix(frac).Counts(n)
+			wantFree := int(frac*float64(n) + 0.5)
+			if counts[0] != wantFree || counts[1] != n-wantFree {
+				t.Fatalf("n=%d frac=%g: counts = %v, want [%d %d]", n, frac, counts, wantFree, n-wantFree)
+			}
+		}
+	}
+}
+
+func TestCountsTotalAndSlack(t *testing.T) {
+	m := Mix{
+		{Strategy: AdaptiveFreerider(), Frac: 1.0 / 3},
+		{Strategy: Whitewasher(), Frac: 1.0 / 3},
+		{Strategy: Sharing(), Frac: 1.0 / 3},
+	}
+	for _, n := range []int{1, 2, 7, 100} {
+		total := 0
+		for _, c := range m.Counts(n) {
+			total += c
+		}
+		if total != n {
+			t.Fatalf("n=%d: counts %v total %d", n, m.Counts(n), total)
+		}
+	}
+}
+
+// TestAssignMatchesLegacyDraw pins that a legacy mix assigned through the
+// same permutation marks exactly the peers the historical free-rider draw
+// marked.
+func TestAssignMatchesLegacyDraw(t *testing.T) {
+	n, frac := 30, 0.5
+	r := rng.New(42)
+	perm := r.Perm(n)
+
+	// Historical assignment: first round(frac*n) permutation entries free-ride.
+	nFree := int(frac*float64(n) + 0.5)
+	wantFree := make([]bool, n)
+	for i, p := range perm {
+		if i < nFree {
+			wantFree[p] = true
+		}
+	}
+
+	classOf := LegacyMix(frac).Assign(perm)
+	for id := 0; id < n; id++ {
+		gotFree := classOf[id] == 0 // class 0 is non-sharing in the legacy mix
+		if gotFree != wantFree[id] {
+			t.Fatalf("peer %d: class %d, wantFree=%v", id, classOf[id], wantFree[id])
+		}
+	}
+}
+
+func TestAssignCoversAllClasses(t *testing.T) {
+	m := Mix{
+		{Strategy: PartialSharer(), Frac: 0.25},
+		{Strategy: NonSharing(), Frac: 0.25},
+		{Strategy: Sharing(), Frac: 0.5},
+	}
+	perm := rng.New(7).Perm(40)
+	classOf := m.Assign(perm)
+	counts := make([]int, len(m))
+	for _, c := range classOf {
+		counts[c]++
+	}
+	want := m.Counts(40)
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("class %d: assigned %d, want %d", i, counts[i], want[i])
+		}
+	}
+}

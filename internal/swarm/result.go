@@ -8,12 +8,15 @@ import (
 	"barter/internal/core"
 	"barter/internal/metrics"
 	"barter/internal/node"
+	"barter/internal/strategy"
 )
 
 // PeerResult is one node's outcome: its workload bookkeeping plus the live
 // node's own protocol counters.
 type PeerResult struct {
-	ID        core.PeerID
+	// ID is the peer's current identity (a whitewasher's final one).
+	ID core.PeerID
+	// Class is the peer's strategy-class label (see internal/strategy).
 	Class     string
 	Restarts  int
 	Wanted    int
@@ -22,6 +25,10 @@ type PeerResult struct {
 	// Attempts counts Download issuances across retries: above Wanted it
 	// measures how often churn or source exhaustion forced a re-issue.
 	Attempts int
+	// Flips counts adaptive starvation-into-contribution transitions;
+	// Whitewashes counts identity churns.
+	Flips       int
+	Whitewashes int
 	// MeanCompletion averages this peer's completed download times
 	// (zero with no completions).
 	MeanCompletion time.Duration
@@ -37,12 +44,16 @@ type Result struct {
 	Elapsed       time.Duration
 	Peers         []PeerResult
 	// Wanted/Completed/Failed total the per-peer counts; Restarts totals
-	// churn cycles; Flagged counts cheaters the mediator caught.
-	Wanted    int
-	Completed int
-	Failed    int
-	Restarts  int
-	Flagged   int
+	// churn cycles; Flagged counts cheaters the mediator caught; Flips and
+	// Whitewashes total the adversary scenario's adaptive transitions and
+	// identity churns.
+	Wanted      int
+	Completed   int
+	Failed      int
+	Restarts    int
+	Flagged     int
+	Flips       int
+	Whitewashes int
 }
 
 // ClassMean returns the mean completion time over every finished download
@@ -74,7 +85,10 @@ func (r *Result) Table() *metrics.Table {
 		XLabel: "fraction of non-sharing peers",
 		YLabel: "mean download time (seconds)",
 	}
-	for _, class := range []string{ClassSharing, ClassNonSharing, ClassCorrupt} {
+	// Classes come from the shared strategy registry, in its canonical
+	// order, so live series names line up with the simulator's and columns
+	// stay stable across scenarios.
+	for _, class := range strategy.CanonicalLabels() {
 		if mean, n := r.ClassMean(class); n > 0 {
 			t.Append("live/"+class, r.FreeriderFrac, mean.Seconds())
 		}
@@ -96,6 +110,9 @@ func (r *Result) TSV() string {
 	if r.Flagged > 0 {
 		fmt.Fprintf(&b, "# mediator: flagged=%d cheaters\n", r.Flagged)
 	}
+	if r.Flips > 0 || r.Whitewashes > 0 {
+		fmt.Fprintf(&b, "# adversary: flips=%d whitewashes=%d\n", r.Flips, r.Whitewashes)
+	}
 	return b.String()
 }
 
@@ -103,11 +120,12 @@ func (r *Result) TSV() string {
 // counters, for digging into a run beyond the aggregate.
 func (r *Result) PeersTSV() string {
 	var b strings.Builder
-	b.WriteString("peer\tclass\twanted\tcompleted\tfailed\tattempts\tmean_s\trestarts\tblocks_sent\tblocks_recv\tblocks_rej\texch_blocks\trings\tpreempt\tserved\toverflows\n")
+	b.WriteString("peer\tclass\twanted\tcompleted\tfailed\tattempts\tmean_s\trestarts\tflips\twhitewash\tblocks_sent\tblocks_recv\tblocks_rej\texch_blocks\trings\tpreempt\tserved\toverflows\n")
 	for i := range r.Peers {
 		p := &r.Peers[i]
-		fmt.Fprintf(&b, "%d\t%s\t%d\t%d\t%d\t%d\t%.3f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
-			p.ID, p.Class, p.Wanted, p.Completed, p.Failed, p.Attempts, p.MeanCompletion.Seconds(), p.Restarts,
+		fmt.Fprintf(&b, "%d\t%s\t%d\t%d\t%d\t%d\t%.3f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			p.ID, p.Class, p.Wanted, p.Completed, p.Failed, p.Attempts, p.MeanCompletion.Seconds(),
+			p.Restarts, p.Flips, p.Whitewashes,
 			p.Stats.BlocksSent, p.Stats.BlocksReceived, p.Stats.BlocksRejected,
 			p.Stats.ExchangeBlocksSent, p.Stats.RingsJoined, p.Stats.Preemptions,
 			p.Stats.RequestsServed, p.Stats.SendOverflows)
@@ -118,18 +136,30 @@ func (r *Result) PeersTSV() string {
 // collect snapshots every peer into a Result. Called after all waiters have
 // settled and before teardown, so node Stats are still reachable.
 func (s *swarmRun) collect(elapsed time.Duration, flagged int) *Result {
+	frac := s.cfg.FreeriderFrac
+	if s.cfg.Scenario == Adversary {
+		// The adversary scenario's x key is the total fraction of peers not
+		// contributing faithfully (free-riders plus every adversary class):
+		// without folding those in, a sweep over -adaptive/-whitewash/
+		// -partial would emit every row at the same x and concatenated TSVs
+		// would be indistinguishable by key.
+		frac += s.cfg.AdaptiveFrac + s.cfg.WhitewashFrac + s.cfg.PartialFrac
+	}
 	res := &Result{
 		Scenario:      s.cfg.Scenario,
 		Nodes:         len(s.peers),
 		Objects:       s.cfg.Objects,
-		FreeriderFrac: s.cfg.FreeriderFrac,
+		FreeriderFrac: frac,
 		Elapsed:       elapsed,
 		Flagged:       flagged,
 	}
 	for _, p := range s.peers {
-		pr := PeerResult{ID: p.id, Class: p.class}
+		pr := PeerResult{Class: p.class()}
 		p.mu.Lock()
+		pr.ID = p.id
 		pr.Restarts = p.restarts
+		pr.Flips = p.flips
+		pr.Whitewashes = p.whitewashes
 		nd := p.node
 		p.mu.Unlock()
 		var sum time.Duration
@@ -156,6 +186,8 @@ func (s *swarmRun) collect(elapsed time.Duration, flagged int) *Result {
 		res.Completed += pr.Completed
 		res.Failed += pr.Failed
 		res.Restarts += pr.Restarts
+		res.Flips += pr.Flips
+		res.Whitewashes += pr.Whitewashes
 	}
 	return res
 }

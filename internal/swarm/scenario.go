@@ -5,21 +5,25 @@ import (
 
 	"barter/internal/catalog"
 	"barter/internal/core"
+	"barter/internal/strategy"
 )
 
-// buildWorld assigns classes, places content, derives wants, and spawns
-// every node for the configured scenario. All structural choices draw from
-// the run's seeded RNG.
+// buildWorld assigns strategy classes, places content, derives wants, and
+// spawns every node for the configured scenario. All structural choices draw
+// from the run's seeded RNG, and every class assignment is a
+// strategy.Strategy — the same definitions internal/sim consumes.
 func (s *swarmRun) buildWorld() error {
 	switch s.cfg.Scenario {
 	case FlashCrowd:
-		s.buildFlashCrowd(ClassSharing, 0)
+		s.buildFlashCrowd(strategy.Sharing(), 0)
 	case Cheater:
-		s.buildFlashCrowd(ClassCorrupt, s.cfg.CorruptFrac)
+		s.buildFlashCrowd(strategy.Corrupt(), s.cfg.CorruptFrac)
 	case Mixed, Churn:
 		s.buildMixed()
 	case Freerider:
 		s.buildFreerider()
+	case Adversary:
+		s.buildAdversary()
 	}
 	for _, p := range s.peers {
 		if err := s.spawn(p); err != nil {
@@ -30,11 +34,11 @@ func (s *swarmRun) buildWorld() error {
 }
 
 // buildFlashCrowd: one object, a handful of seed holders, everyone else
-// downloads it simultaneously. badFrac of the seeds get badClass (the
+// downloads it simultaneously. badFrac of the seeds get badStrat (the
 // cheater scenario corrupts them; flashcrowd passes zero). Downloaders'
 // provider sets hold every seed plus a few fellow downloaders, so completed
 // sharers spread the object epidemically.
-func (s *swarmRun) buildFlashCrowd(badClass string, badFrac float64) {
+func (s *swarmRun) buildFlashCrowd(badStrat strategy.Strategy, badFrac float64) {
 	const obj = catalog.ObjectID(1)
 	seeds := max(2, s.cfg.Nodes/30)
 	bad := 0
@@ -44,10 +48,10 @@ func (s *swarmRun) buildFlashCrowd(badClass string, badFrac float64) {
 		bad = min(max(1, int(float64(seeds)*badFrac)), seeds-1)
 	}
 	for i := 0; i < s.cfg.Nodes; i++ {
-		p := &peerState{id: core.PeerID(i + 1), class: ClassSharing}
+		p := &peerState{id: core.PeerID(i + 1), strat: strategy.Sharing()}
 		if i < seeds {
 			if i < bad {
-				p.class = badClass
+				p.strat = badStrat
 			}
 			p.holds = []catalog.ObjectID{obj}
 		}
@@ -77,22 +81,22 @@ func (s *swarmRun) buildFlashCrowd(badClass string, badFrac float64) {
 func (s *swarmRun) buildMixed() {
 	holder := make(map[catalog.ObjectID]core.PeerID, s.cfg.Objects)
 	for i := 0; i < s.cfg.Nodes; i++ {
-		p := &peerState{id: core.PeerID(i + 1), class: ClassSharing}
+		p := &peerState{id: core.PeerID(i + 1), strat: strategy.Sharing()}
 		if s.cfg.FreeriderFrac > 0 && s.rng.Float64() < s.cfg.FreeriderFrac {
-			p.class = ClassNonSharing
+			p.strat = strategy.NonSharing()
 		}
 		s.peers = append(s.peers, p)
 	}
 	sharers := make([]*peerState, 0, len(s.peers))
 	for _, p := range s.peers {
-		if p.class == ClassSharing {
+		if p.strat.Share {
 			sharers = append(sharers, p)
 		}
 	}
 	if len(sharers) == 0 {
 		// A high FreeriderFrac can randomly leave nobody to hold content;
 		// the world needs at least one holder to mean anything.
-		s.peers[0].class = ClassSharing
+		s.peers[0].strat = strategy.Sharing()
 		sharers = append(sharers, s.peers[0])
 	}
 	for o := 1; o <= s.cfg.Objects; o++ {
@@ -126,6 +130,31 @@ func (s *swarmRun) buildMixed() {
 	}
 }
 
+// pairBlock appends one block of peers running strat: each holds its own
+// object and wants its partner's (peer 2k and 2k+1 exchange), the live
+// network's pairwise exchange substrate. Objects are numbered from
+// firstObj; ids from firstID. It returns the next free id/object numbers.
+func (s *swarmRun) pairBlock(strat strategy.Strategy, count, firstID, firstObj int) (nextID, nextObj int) {
+	start := len(s.peers)
+	for i := 0; i < count; i++ {
+		obj := catalog.ObjectID(firstObj + i)
+		p := &peerState{
+			id:    core.PeerID(firstID + i),
+			strat: strat,
+			holds: []catalog.ObjectID{obj},
+		}
+		s.peers = append(s.peers, p)
+	}
+	for i := 0; i < count; i++ {
+		partner := i ^ 1 // 0<->1, 2<->3, ...
+		s.peers[start+i].wants = []*wantState{{
+			obj:       catalog.ObjectID(firstObj + partner),
+			providers: []core.PeerID{s.peers[start+partner].id},
+		}}
+	}
+	return firstID + count, firstObj + count
+}
+
 // buildFreerider: sharers hold one object each and are paired into mutual
 // wants — the live network's pairwise exchange substrate — while
 // FreeriderFrac of the population holds nothing and wants random sharer
@@ -148,40 +177,113 @@ func (s *swarmRun) buildFreerider() {
 	}
 	// One object per sharer; sharer 2k and 2k+1 want each other's object.
 	s.cfg.Objects = sharers
-	for i := 0; i < sharers; i++ {
-		obj := catalog.ObjectID(i + 1)
-		p := &peerState{
-			id:    core.PeerID(i + 1),
-			class: ClassSharing,
-			holds: []catalog.ObjectID{obj},
-		}
+	nextID, _ := s.pairBlock(strategy.Sharing(), sharers, 1, 1)
+	for i := 0; i < riders; i++ {
+		p := &peerState{id: core.PeerID(nextID + i), strat: strategy.NonSharing()}
+		s.addSharerBlockWants(p, sharers)
 		s.peers = append(s.peers, p)
 	}
-	for i := 0; i < sharers; i++ {
-		partner := i ^ 1 // 0<->1, 2<->3, ...
-		obj := catalog.ObjectID(partner + 1)
-		s.peers[i].wants = []*wantState{{
-			obj:       obj,
-			providers: []core.PeerID{s.peers[partner].id},
-		}}
+	s.topUpOracle()
+}
+
+// addSharerBlockWants gives a content-less leech its wants over the paired
+// sharer block (objects 1..sharers held by s.peers[0..sharers-1]). Each
+// want lists both the holder and its partner: the partner will hold the
+// object too once their exchange completes.
+func (s *swarmRun) addSharerBlockWants(p *peerState, sharers int) {
+	wants := min(s.cfg.WantsPerNode, sharers)
+	for _, oi := range s.rng.Perm(sharers)[:wants] {
+		p.wants = append(p.wants, &wantState{
+			obj:       catalog.ObjectID(oi + 1),
+			providers: []core.PeerID{s.peers[oi].id, s.peers[oi^1].id},
+		})
 	}
-	for i := 0; i < riders; i++ {
-		p := &peerState{id: core.PeerID(sharers + i + 1), class: ClassNonSharing}
-		wants := min(s.cfg.WantsPerNode, sharers)
-		for _, oi := range s.rng.Perm(sharers)[:wants] {
-			obj := catalog.ObjectID(oi + 1)
-			// Both the holder and its partner will hold the object once
-			// their exchange completes.
+}
+
+// buildAdversary extends the freerider substrate with the strategic classes
+// of internal/strategy: sharers, partial sharers, and adaptive free-riders
+// each form mutual-want pairs within their class (partial pairs exchange
+// through throttled slots; adaptive pairs deadlock until starvation flips
+// them to contributing), while whitewashers and static free-riders hold
+// nothing and want sharer-held objects. Whitewashers additionally target one
+// adaptive-held object when available — a want that cannot complete before
+// the adaptive class flips, guaranteeing the identity churn has something to
+// launder.
+func (s *swarmRun) buildAdversary() {
+	counts := strategy.Mix{
+		{Strategy: strategy.AdaptiveFreerider(), Frac: s.cfg.AdaptiveFrac},
+		{Strategy: strategy.Whitewasher(), Frac: s.cfg.WhitewashFrac},
+		{Strategy: strategy.PartialSharer(), Frac: s.cfg.PartialFrac},
+		{Strategy: strategy.NonSharing(), Frac: s.cfg.FreeriderFrac},
+		{Strategy: strategy.Sharing(), Frac: 1 - s.cfg.AdaptiveFrac - s.cfg.WhitewashFrac - s.cfg.PartialFrac - s.cfg.FreeriderFrac},
+	}.Counts(s.cfg.Nodes)
+	adaptive, whitewashers, partials, riders, sharers := counts[0], counts[1], counts[2], counts[3], counts[4]
+	// Paired classes need even counts; remainders become plain riders.
+	for _, c := range []*int{&adaptive, &partials, &sharers} {
+		if *c%2 == 1 {
+			*c--
+			riders++
+		}
+	}
+	if sharers < 2 {
+		// Keep at least one true exchange pair so the scenario's sharer
+		// baseline (and the whitewashers' provider set) exists. The two
+		// converted peers must come out of the other classes — the
+		// population stays at exactly cfg.Nodes, or initial ids would
+		// collide with the fresh identities whitewashers respawn under.
+		switch {
+		case riders+whitewashers >= 2:
+			for i := 0; i < 2; i++ {
+				if riders > 0 {
+					riders--
+				} else {
+					whitewashers--
+				}
+			}
+		case adaptive >= 2:
+			adaptive -= 2
+		default:
+			partials -= 2 // Nodes >= 4 guarantees some class has a pair
+		}
+		sharers = 2
+	}
+
+	nextID, nextObj := 1, 1
+	nextID, nextObj = s.pairBlock(strategy.Sharing(), sharers, nextID, nextObj)
+	nextID, nextObj = s.pairBlock(strategy.PartialSharer(), partials, nextID, nextObj)
+	firstAdaptiveObj := nextObj
+	nextID, nextObj = s.pairBlock(strategy.AdaptiveFreerider(), adaptive, nextID, nextObj)
+	s.cfg.Objects = nextObj - 1
+
+	// Whitewashers and riders: no content, wants over the sharer block (and
+	// for whitewashers, one adaptive-held object first when there is one).
+	addLeech := func(strat strategy.Strategy) {
+		p := &peerState{id: core.PeerID(nextID), strat: strat}
+		nextID++
+		if strat.Whitewash && adaptive > 0 {
+			oi := s.rng.Intn(adaptive)
+			obj := catalog.ObjectID(firstAdaptiveObj + oi)
+			holderIdx := sharers + partials + oi
 			p.wants = append(p.wants, &wantState{
 				obj:       obj,
-				providers: []core.PeerID{s.peers[oi].id, s.peers[oi^1].id},
+				providers: []core.PeerID{s.peers[holderIdx].id},
 			})
 		}
+		s.addSharerBlockWants(p, sharers)
 		s.peers = append(s.peers, p)
 	}
-	// The digest oracle sized the catalog before Objects was final; trim is
-	// unnecessary (extra entries are harmless), but make sure every object
-	// in play has digests.
+	for i := 0; i < whitewashers; i++ {
+		addLeech(strategy.Whitewasher())
+	}
+	for i := 0; i < riders; i++ {
+		addLeech(strategy.NonSharing())
+	}
+	s.topUpOracle()
+}
+
+// topUpOracle makes sure every object in play has digests: scenario builders
+// finalize cfg.Objects after the initial oracle sizing.
+func (s *swarmRun) topUpOracle() {
 	for o := 1; o <= s.cfg.Objects; o++ {
 		obj := catalog.ObjectID(o)
 		if _, ok := s.oracle[obj]; !ok {
@@ -194,7 +296,7 @@ func (s *swarmRun) buildFreerider() {
 func (s *swarmRun) describe() string {
 	classes := make(map[string]int)
 	for _, p := range s.peers {
-		classes[p.class]++
+		classes[p.class()]++
 	}
 	return fmt.Sprintf("%s: %d nodes %v, %d objects", s.cfg.Scenario, len(s.peers), classes, s.cfg.Objects)
 }

@@ -21,6 +21,15 @@
 //   - churn: the mixed workload while nodes are closed and restarted
 //     mid-run, hundreds of times; every shutdown path in node, transport,
 //     and mediator is exercised under load.
+//   - adversary: the freerider pairing substrate plus the richer strategic
+//     classes of internal/strategy — adaptive free-riders that start
+//     contributing once starved, whitewashers that periodically rejoin
+//     under fresh identities, and partial sharers with throttled upload
+//     slots — each reported as its own live/<class> series.
+//
+// Peer behavior classes come from internal/strategy — the same declarative
+// definitions the simulator consumes — so exchswarm TSV and exchsim figures
+// report identical class labels from one source of truth.
 //
 // The orchestrator owns a shared address directory (the lookup service the
 // paper treats as external) and a digest oracle covering the whole catalog.
@@ -39,6 +48,7 @@ import (
 	"barter/internal/node"
 	"barter/internal/protocol"
 	"barter/internal/rng"
+	"barter/internal/strategy"
 	"barter/internal/transport"
 )
 
@@ -52,18 +62,23 @@ const (
 	Freerider  Scenario = "freerider"
 	Cheater    Scenario = "cheater"
 	Churn      Scenario = "churn"
+	Adversary  Scenario = "adversary"
 )
 
 // Scenarios lists every built-in scenario in presentation order.
 func Scenarios() []Scenario {
-	return []Scenario{FlashCrowd, Mixed, Freerider, Cheater, Churn}
+	return []Scenario{FlashCrowd, Mixed, Freerider, Cheater, Churn, Adversary}
 }
 
-// Peer classes, named to line up with the simulator's Figure 12 series.
+// Peer class labels, shared with the simulator through internal/strategy so
+// live series and figure series carry identical names.
 const (
-	ClassSharing    = "sharing"
-	ClassNonSharing = "non-sharing"
-	ClassCorrupt    = "corrupt"
+	ClassSharing     = strategy.LabelSharing
+	ClassNonSharing  = strategy.LabelNonSharing
+	ClassCorrupt     = strategy.LabelCorrupt
+	ClassAdaptive    = strategy.LabelAdaptive
+	ClassWhitewasher = strategy.LabelWhitewasher
+	ClassPartial     = strategy.LabelPartial
 )
 
 // Config parameterizes one swarm run. The zero value is not runnable; at
@@ -101,6 +116,18 @@ type Config struct {
 	// CorruptFrac is the fraction of flashcrowd seeds that serve junk.
 	FreeriderFrac float64
 	CorruptFrac   float64
+	// AdaptiveFrac, WhitewashFrac, and PartialFrac size the adversary
+	// scenario's strategic classes (see internal/strategy): adaptive
+	// free-riders, identity-churning whitewashers, and throttled partial
+	// sharers. Zero on the adversary scenario means 0.15 each.
+	AdaptiveFrac  float64
+	WhitewashFrac float64
+	PartialFrac   float64
+	// AdaptivePatience is how long an adaptive free-rider tolerates stalled
+	// downloads before it starts contributing; WhitewashInterval is the
+	// wall-clock period between a whitewasher's identity churns.
+	AdaptivePatience  time.Duration
+	WhitewashInterval time.Duration
 	// Restarts is how many node close/restart cycles the churn scenario
 	// performs; ChurnInterval is the pause between them.
 	Restarts      int
@@ -114,7 +141,7 @@ type Config struct {
 
 func (c *Config) fillDefaults() error {
 	switch c.Scenario {
-	case FlashCrowd, Mixed, Freerider, Cheater, Churn:
+	case FlashCrowd, Mixed, Freerider, Cheater, Churn, Adversary:
 	case "":
 		return errors.New("swarm: Scenario is required")
 	default:
@@ -145,13 +172,16 @@ func (c *Config) fillDefaults() error {
 		c.BlockSize = 4 << 10
 	}
 	if c.UploadSlots <= 0 {
-		if c.Scenario == Freerider {
+		switch c.Scenario {
+		case Freerider:
 			c.UploadSlots = 1 // scarcity: exchange priority must matter
-		} else {
+		case Adversary:
+			c.UploadSlots = 2 // scarce, but with headroom for partial throttling
+		default:
 			c.UploadSlots = 4
 		}
 	}
-	if c.BlockDelay <= 0 && c.Scenario == Freerider {
+	if c.BlockDelay <= 0 && (c.Scenario == Freerider || c.Scenario == Adversary) {
 		// Paced slots give ring negotiation time to preempt, as in the
 		// paper's fixed-rate transfer model.
 		c.BlockDelay = time.Millisecond
@@ -173,6 +203,33 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.CorruptFrac < 0 || c.CorruptFrac > 0.9 {
 		return fmt.Errorf("swarm: CorruptFrac %g out of range [0, 0.9]", c.CorruptFrac)
+	}
+	if c.Scenario == Adversary && c.AdaptiveFrac == 0 && c.WhitewashFrac == 0 && c.PartialFrac == 0 {
+		// Default adversary classes, shrunk to whatever room an already-set
+		// FreeriderFrac leaves under the 0.9 cap: a command naming only
+		// -frac must not be rejected over fractions it never specified.
+		d := min(0.15, max(0, (0.9-c.FreeriderFrac)/3))
+		c.AdaptiveFrac, c.WhitewashFrac, c.PartialFrac = d, d, d
+	}
+	for _, f := range []float64{c.AdaptiveFrac, c.WhitewashFrac, c.PartialFrac} {
+		if f < 0 || f > 0.9 {
+			return fmt.Errorf("swarm: adversary fraction %g out of range [0, 0.9]", f)
+		}
+	}
+	if sum := c.AdaptiveFrac + c.WhitewashFrac + c.PartialFrac + c.FreeriderFrac; sum > 0.9 {
+		return fmt.Errorf("swarm: adversary fractions sum to %g, want <= 0.9 (sharers must remain)", sum)
+	}
+	if c.AdaptivePatience <= 0 {
+		c.AdaptivePatience = 500 * time.Millisecond
+		if c.Quick {
+			c.AdaptivePatience = 200 * time.Millisecond
+		}
+	}
+	if c.WhitewashInterval <= 0 {
+		c.WhitewashInterval = 200 * time.Millisecond
+		if c.Quick {
+			c.WhitewashInterval = 80 * time.Millisecond
+		}
 	}
 	if c.Restarts <= 0 && c.Scenario == Churn {
 		if c.Quick {
@@ -226,14 +283,22 @@ type wantState struct {
 	elapsed  time.Duration
 }
 
-// peerState wraps one live node with everything needed to restart it.
+// peerState wraps one live node with everything needed to restart it. Its
+// behavior class is a strategy.Strategy — the same declarative definitions
+// the simulator consumes.
 type peerState struct {
-	id    core.PeerID
-	class string
+	strat strategy.Strategy
 
 	mu       sync.Mutex
+	id       core.PeerID // changes when a whitewasher sheds its identity
 	node     *node.Node
 	restarts int
+	// forcedShare marks an adaptive free-rider that was starved into
+	// contributing; flips counts those transitions, whitewashes the identity
+	// churns executed.
+	forcedShare bool
+	flips       int
+	whitewashes int
 
 	holds []catalog.ObjectID // objects held from the start
 	wants []*wantState
@@ -244,6 +309,24 @@ func (p *peerState) current() *node.Node {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.node
+}
+
+// class returns the peer's strategy-class label.
+func (p *peerState) class() string { return p.strat.Name }
+
+// shareNow reports whether the peer's next node should serve others:
+// its strategy's standing policy, or an adaptive flip.
+func (p *peerState) shareNow() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.strat.Share || p.forcedShare
+}
+
+// currentID returns the peer's current identity.
+func (p *peerState) currentID() core.PeerID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.id
 }
 
 // swarmRun is the orchestrator state for one Run.
@@ -258,6 +341,37 @@ type swarmRun struct {
 	start   time.Time
 	giveUp  chan struct{} // closed when the run deadline expires
 	waiters sync.WaitGroup
+	// monitors tracks the adversary supervision goroutines (adaptive flips,
+	// whitewash churns); they exit once their peer's wants settle, and Run
+	// joins them before collecting so no respawn races teardown.
+	monitors sync.WaitGroup
+	// idMu guards idSeq, the allocator for fresh whitewash identities.
+	idMu  sync.Mutex
+	idSeq int
+}
+
+// freshID allocates an identity no initial peer ever held, for a
+// whitewasher rejoining under a new name. idSeq is seeded past the highest
+// id buildWorld assigned (see seedIDAllocator), so fresh identities can
+// never collide with a live peer.
+func (s *swarmRun) freshID() core.PeerID {
+	s.idMu.Lock()
+	defer s.idMu.Unlock()
+	s.idSeq++
+	return core.PeerID(s.idSeq)
+}
+
+// seedIDAllocator starts the fresh-identity sequence past every initial id.
+func (s *swarmRun) seedIDAllocator() {
+	maxID := s.cfg.Nodes
+	for _, p := range s.peers {
+		if int(p.id) > maxID {
+			maxID = int(p.id)
+		}
+	}
+	s.idMu.Lock()
+	s.idSeq = maxID
+	s.idMu.Unlock()
 }
 
 func (s *swarmRun) logf(format string, args ...any) {
@@ -306,6 +420,7 @@ func Run(cfg Config) (*Result, error) {
 		s.teardown()
 		return nil, err
 	}
+	s.seedIDAllocator()
 	s.logf("world: %s", s.describe())
 
 	med, err := mediator.New(s.tr, s.mediatorAddr(), func(o catalog.ObjectID) ([][32]byte, bool) {
@@ -323,10 +438,14 @@ func Run(cfg Config) (*Result, error) {
 	defer deadline.Stop()
 
 	s.launchWants()
+	s.superviseAdversaries()
 	if cfg.Scenario == Churn {
 		s.churn()
 	}
 	s.waiters.Wait()
+	// Join the adversary monitors before touching nodes: a mid-respawn
+	// whitewasher must not race teardown.
+	s.monitors.Wait()
 
 	flagged := 0
 	if cfg.Scenario == Cheater {
@@ -365,15 +484,18 @@ func blockDigests(data []byte, blockSize int) [][32]byte {
 }
 
 // spawn starts (or restarts) the live node for p and registers its address.
+// The node's behavior — whether it serves, how many upload slots it grants,
+// whether it corrupts payloads — derives from the peer's strategy.
 func (s *swarmRun) spawn(p *peerState) error {
+	id := p.currentID()
 	cfg := node.Config{
-		ID:           p.id,
+		ID:           id,
 		Addr:         s.nodeAddr(),
 		Transport:    s.tr,
 		Lookup:       s.dir.lookup,
-		Share:        p.class != ClassNonSharing,
-		Corrupt:      p.class == ClassCorrupt,
-		UploadSlots:  s.cfg.UploadSlots,
+		Share:        p.shareNow(),
+		Corrupt:      p.strat.Corrupt,
+		UploadSlots:  p.strat.SlotCap(s.cfg.UploadSlots),
 		BlockSize:    s.cfg.BlockSize,
 		BlockDelay:   s.cfg.BlockDelay,
 		TickInterval: 5 * time.Millisecond,
@@ -388,7 +510,7 @@ func (s *swarmRun) spawn(p *peerState) error {
 	}
 	n, err := node.New(cfg)
 	if err != nil {
-		return fmt.Errorf("swarm: spawn %d: %w", p.id, err)
+		return fmt.Errorf("swarm: spawn %d: %w", id, err)
 	}
 	for _, obj := range p.holds {
 		n.AddObject(obj, objData(obj, s.cfg.ObjectSize))
@@ -405,20 +527,30 @@ func (s *swarmRun) spawn(p *peerState) error {
 	p.mu.Lock()
 	p.node = n
 	p.mu.Unlock()
-	s.dir.set(p.id, n.Addr())
+	s.dir.set(id, n.Addr())
 	return nil
 }
 
 // launchWants starts one waiter goroutine per (peer, want): it issues the
 // download, retries on failure (a churned provider, a restarted self), and
-// records completion or gives up at the run deadline. Non-sharing peers
-// launch first so their requests occupy upload slots before sharers ask —
-// the strongest-case ordering for observing exchange priority, mirroring
-// how free-riders race ahead in the paper's scenarios.
+// records completion or gives up at the run deadline. Non-contributing
+// classes launch first so their requests occupy upload slots before sharers
+// ask — the strongest-case ordering for observing exchange priority,
+// mirroring how free-riders race ahead in the paper's scenarios.
 func (s *swarmRun) launchWants() {
-	for _, phase := range []string{ClassNonSharing, ClassCorrupt, ClassSharing} {
+	phase := func(p *peerState) int {
+		switch {
+		case !p.strat.Share: // static, adaptive, and whitewashing free-riders
+			return 0
+		case p.strat.Corrupt:
+			return 1
+		default: // sharing and partial
+			return 2
+		}
+	}
+	for ph := 0; ph <= 2; ph++ {
 		for _, p := range s.peers {
-			if p.class != phase {
+			if phase(p) != ph {
 				continue
 			}
 			for _, w := range p.wants {
@@ -497,7 +629,7 @@ func (s *swarmRun) churn() {
 		if err := s.spawn(p); err != nil {
 			// Transport refused (e.g. exhausted ports); count and move on —
 			// the waiters keep retrying against the last known address.
-			s.logf("churn: restart %d failed: %v", p.id, err)
+			s.logf("churn: restart %d failed: %v", p.currentID(), err)
 			continue
 		}
 		p.mu.Lock()
@@ -514,6 +646,152 @@ func (s *swarmRun) churn() {
 	}
 }
 
+// superviseAdversaries arms one monitor per adaptive and whitewashing peer.
+// Monitors exit once their peer's wants settle (or the run deadline hits),
+// so Run can join them before teardown.
+func (s *swarmRun) superviseAdversaries() {
+	var deps map[*peerState][]*wantState
+	for _, p := range s.peers {
+		switch {
+		case p.strat.Adaptive:
+			if deps == nil {
+				deps = s.dependentWants()
+			}
+			s.monitors.Add(1)
+			go s.adaptiveMonitor(p, deps[p])
+		case p.strat.Whitewash:
+			s.monitors.Add(1)
+			go s.whitewashMonitor(p)
+		}
+	}
+}
+
+// dependentWants maps each peer to the wants (across the whole swarm) that
+// target an object it holds — the demand an adaptive peer is refusing.
+func (s *swarmRun) dependentWants() map[*peerState][]*wantState {
+	holder := make(map[catalog.ObjectID]*peerState)
+	for _, p := range s.peers {
+		for _, o := range p.holds {
+			holder[o] = p
+		}
+	}
+	deps := make(map[*peerState][]*wantState)
+	for _, p := range s.peers {
+		for _, w := range p.wants {
+			if h := holder[w.obj]; h != nil {
+				deps[h] = append(deps[h], w)
+			}
+		}
+	}
+	return deps
+}
+
+// allDone reports whether every want in ws has completed.
+func allDone(ws []*wantState) bool {
+	for _, w := range ws {
+		w.mu.Lock()
+		done := w.done
+		w.mu.Unlock()
+		if !done {
+			return false
+		}
+	}
+	return true
+}
+
+// respawnUntil retries spawning p until it succeeds or the run deadline
+// hits. A transient transport refusal (the port exhaustion churn() also
+// anticipates) must not strand a closed adversary node: its held objects
+// may be the only source for other peers' wants.
+func (s *swarmRun) respawnUntil(p *peerState, retry time.Duration) bool {
+	for {
+		err := s.spawn(p)
+		if err == nil {
+			return true
+		}
+		s.logf("respawn %d failed (retrying): %v", p.currentID(), err)
+		t := time.NewTimer(retry)
+		select {
+		case <-t.C:
+		case <-s.giveUp:
+			t.Stop()
+			return false
+		}
+	}
+}
+
+// adaptiveMonitor implements "contributes only while refused" live: after
+// the patience window the peer restarts its node with sharing enabled
+// unless, within its patience, its own downloads were served and nobody is
+// still waiting on an object it holds. Checking the dependents matters:
+// whoever flips first can serve its partner before the partner's own
+// monitor fires, and a pure self-check would then strand the early server.
+// Once coerced it keeps serving — withdrawing service mid-transfer would
+// strand the peer it is exchanging with.
+func (s *swarmRun) adaptiveMonitor(p *peerState, dependents []*wantState) {
+	defer s.monitors.Done()
+	t := time.NewTimer(s.cfg.AdaptivePatience)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.giveUp:
+		return
+	}
+	if allDone(p.wants) && allDone(dependents) {
+		return // served, and nothing demands it: it never contributes
+	}
+	p.current().Close()
+	p.mu.Lock()
+	p.forcedShare = true
+	p.flips++
+	p.restarts++
+	p.mu.Unlock()
+	s.respawnUntil(p, s.cfg.AdaptivePatience)
+}
+
+// whitewashMonitor periodically sheds the peer's identity: it closes the
+// node and respawns it under a fresh PeerID, dropping its queue positions
+// and download progress — exactly the state a whitewasher launders away.
+// The churn period doubles after every churn so a loaded swarm always
+// leaves the peer a window wide enough to finish its downloads (without the
+// back-off a slow run could reset the same transfer forever), while
+// completion is still polled at the base interval so the monitor — and with
+// it Run's teardown — exits promptly once the wants settle.
+func (s *swarmRun) whitewashMonitor(p *peerState) {
+	defer s.monitors.Done()
+	poll := s.cfg.WhitewashInterval
+	churnEvery := s.cfg.WhitewashInterval
+	nextChurn := time.Now().Add(churnEvery)
+	t := time.NewTimer(poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-s.giveUp:
+			return
+		}
+		if allDone(p.wants) {
+			return
+		}
+		if time.Now().Before(nextChurn) {
+			t.Reset(poll)
+			continue
+		}
+		p.current().Close()
+		p.mu.Lock()
+		p.id = s.freshID()
+		p.whitewashes++
+		p.restarts++
+		p.mu.Unlock()
+		if !s.respawnUntil(p, poll) {
+			return // run deadline hit while the transport kept refusing
+		}
+		churnEvery *= 2
+		nextChurn = time.Now().Add(churnEvery)
+		t.Reset(poll)
+	}
+}
+
 // auditCheaters plays the receiving peer's role of the Section III-B
 // protocol against every corrupt node: seal the junk it serves under its
 // escrowed key, deposit, and submit samples for audit. The mediator must
@@ -524,46 +802,45 @@ func (s *swarmRun) auditCheaters() int {
 	var wg sync.WaitGroup
 	flagged := make([]bool, len(s.peers))
 	for i, p := range s.peers {
-		if p.class != ClassCorrupt {
-			continue
+		if p.strat.Corrupt {
+			wg.Add(1)
+			go func(i int, id core.PeerID) {
+				defer wg.Done()
+				cl, err := mediator.Dial(s.tr, s.med.Addr())
+				if err != nil {
+					s.logf("audit %d: dial: %v", id, err)
+					return
+				}
+				defer cl.Close()
+				obj := catalog.ObjectID(1)
+				exchange := uint64(id)
+				var key [16]byte
+				copy(key[:], fmt.Sprintf("cheater-%08d-key", id))
+				if err := cl.Deposit(exchange, id, obj, key); err != nil {
+					s.logf("audit %d: deposit: %v", id, err)
+					return
+				}
+				// What a corrupt node actually serves: junk bytes in place of
+				// the real block (the same pattern node.Config.Corrupt emits).
+				junk := make([]byte, min(s.cfg.BlockSize, s.cfg.ObjectSize))
+				for j := range junk {
+					junk[j] = byte(j) ^ 0xAA
+				}
+				victim := id + 1
+				sealed, err := mediator.Seal(key, id, victim, obj, 0, junk)
+				if err != nil {
+					s.logf("audit %d: seal: %v", id, err)
+					return
+				}
+				samples := []protocol.Block{{Object: obj, Index: 0, Origin: id, Recipient: victim, Encrypted: true, Payload: sealed}}
+				_, err = cl.Verify(exchange, victim, id, obj, samples)
+				if errors.Is(err, mediator.ErrRejected) {
+					flagged[i] = true
+				} else {
+					s.logf("audit %d: junk passed the audit: %v", id, err)
+				}
+			}(i, p.currentID())
 		}
-		wg.Add(1)
-		go func(i int, p *peerState) {
-			defer wg.Done()
-			cl, err := mediator.Dial(s.tr, s.med.Addr())
-			if err != nil {
-				s.logf("audit %d: dial: %v", p.id, err)
-				return
-			}
-			defer cl.Close()
-			obj := catalog.ObjectID(1)
-			exchange := uint64(p.id)
-			var key [16]byte
-			copy(key[:], fmt.Sprintf("cheater-%08d-key", p.id))
-			if err := cl.Deposit(exchange, p.id, obj, key); err != nil {
-				s.logf("audit %d: deposit: %v", p.id, err)
-				return
-			}
-			// What a corrupt node actually serves: junk bytes in place of
-			// the real block (the same pattern node.Config.Corrupt emits).
-			junk := make([]byte, min(s.cfg.BlockSize, s.cfg.ObjectSize))
-			for j := range junk {
-				junk[j] = byte(j) ^ 0xAA
-			}
-			victim := p.id + 1
-			sealed, err := mediator.Seal(key, p.id, victim, obj, 0, junk)
-			if err != nil {
-				s.logf("audit %d: seal: %v", p.id, err)
-				return
-			}
-			samples := []protocol.Block{{Object: obj, Index: 0, Origin: p.id, Recipient: victim, Encrypted: true, Payload: sealed}}
-			_, err = cl.Verify(exchange, victim, p.id, obj, samples)
-			if errors.Is(err, mediator.ErrRejected) {
-				flagged[i] = true
-			} else {
-				s.logf("audit %d: junk passed the audit: %v", p.id, err)
-			}
-		}(i, p)
 	}
 	wg.Wait()
 	n := 0

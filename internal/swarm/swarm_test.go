@@ -50,7 +50,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestScenariosListed(t *testing.T) {
-	if len(Scenarios()) != 5 {
+	if len(Scenarios()) != 6 {
 		t.Fatalf("Scenarios() = %v", Scenarios())
 	}
 }
@@ -197,6 +197,105 @@ func TestChurn(t *testing.T) {
 	if res.Failed != 0 || res.Completed != res.Wanted {
 		t.Fatalf("churn: completed %d failed %d of %d (restarts=%d)\n%s",
 			res.Completed, res.Failed, res.Wanted, res.Restarts, res.PeersTSV())
+	}
+}
+
+// TestAdversaryScenario drives the full strategic-class population live:
+// adaptive free-riders must be starved into contributing (flips), the
+// whitewashers must churn identities at least once (their first want targets
+// an adaptive-held object, unavailable for at least the patience window,
+// which exceeds the whitewash interval), and every class must still complete
+// all its downloads before the deadline.
+func TestAdversaryScenario(t *testing.T) {
+	defer leakCheck(t)()
+	res, err := Run(Config{
+		Scenario:          Adversary,
+		Nodes:             32,
+		Quick:             true,
+		Seed:              17,
+		AdaptivePatience:  500 * time.Millisecond,
+		WhitewashInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || res.Completed != res.Wanted {
+		t.Fatalf("adversary: completed %d failed %d of %d\n%s",
+			res.Completed, res.Failed, res.Wanted, res.PeersTSV())
+	}
+	classes := make(map[string]int)
+	for _, p := range res.Peers {
+		classes[p.Class]++
+	}
+	for _, want := range []string{ClassSharing, ClassAdaptive, ClassWhitewasher, ClassPartial} {
+		if classes[want] == 0 {
+			t.Fatalf("world built no %s peers: %v", want, classes)
+		}
+	}
+	if res.Flips == 0 {
+		t.Fatalf("adaptive free-riders were never starved into contributing\n%s", res.PeersTSV())
+	}
+	if res.Whitewashes == 0 {
+		t.Fatalf("whitewashers never churned identity\n%s", res.PeersTSV())
+	}
+	tsv := res.TSV()
+	for _, want := range []string{"live/" + ClassAdaptive, "live/" + ClassWhitewasher, "live/" + ClassPartial, "# adversary: flips="} {
+		if !strings.Contains(tsv, want) {
+			t.Fatalf("TSV missing %q:\n%s", want, tsv)
+		}
+	}
+	// Whitewashed peers report identities beyond the initial range.
+	fresh := false
+	for _, p := range res.Peers {
+		if p.Whitewashes > 0 && int(p.ID) > 32 {
+			fresh = true
+		}
+	}
+	if !fresh {
+		t.Fatalf("no whitewasher ended under a fresh identity\n%s", res.PeersTSV())
+	}
+}
+
+// TestAdversaryWorldStaysAtNodes is the regression test for the sharer
+// top-up overflowing the population: with fractions that round the sharing
+// class away entirely at a tiny population, buildAdversary must still
+// produce exactly Nodes peers with ids inside [1, Nodes] — otherwise a
+// whitewasher's fresh identity could collide with a live initial peer.
+func TestAdversaryWorldStaysAtNodes(t *testing.T) {
+	defer leakCheck(t)()
+	res, err := Run(Config{
+		Scenario:          Adversary,
+		Nodes:             8,
+		Quick:             true,
+		Seed:              1,
+		AdaptiveFrac:      0.3,
+		WhitewashFrac:     0.3,
+		PartialFrac:       0.3,
+		AdaptivePatience:  200 * time.Millisecond,
+		WhitewashInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 8 {
+		t.Fatalf("world built %d peers, want 8\n%s", res.Nodes, res.PeersTSV())
+	}
+	seen := make(map[int]bool)
+	for _, p := range res.Peers {
+		id := int(p.ID)
+		if p.Whitewashes == 0 && (id < 1 || id > 8) {
+			t.Fatalf("initial peer id %d outside [1, 8]\n%s", id, res.PeersTSV())
+		}
+		if p.Whitewashes > 0 && id >= 1 && id <= 8 {
+			t.Fatalf("whitewashed peer kept an initial-range id %d\n%s", id, res.PeersTSV())
+		}
+		if seen[id] {
+			t.Fatalf("duplicate final id %d\n%s", id, res.PeersTSV())
+		}
+		seen[id] = true
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d downloads failed\n%s", res.Failed, res.PeersTSV())
 	}
 }
 

@@ -47,6 +47,7 @@ const (
 	SwarmFreerider  = swarm.Freerider
 	SwarmCheater    = swarm.Cheater
 	SwarmChurn      = swarm.Churn
+	SwarmAdversary  = swarm.Adversary
 )
 
 // RunSwarm launches a live-network swarm — hundreds of real peers plus a
