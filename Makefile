@@ -26,12 +26,15 @@ test-full:
 	$(GO) test -count=1 ./...
 
 ## swarm-smoke: race-enabled live-network scenarios CI runs on every push —
-## a 120-node flash crowd and a 100-node churn run (60 close/restart cycles)
-## on the in-memory transport, so shutdown and backpressure paths stay
-## exercised outside the unit suite too.
+## a 120-node flash crowd, a 100-node churn run (60 close/restart cycles),
+## a 120-node cheater run against a 4-shard mediator tier, and a medfail
+## run that kills mediator shards mid-run, so shutdown, backpressure, and
+## mediator-failover paths stay exercised outside the unit suite too.
 swarm-smoke:
 	$(GO) run -race ./cmd/exchswarm -scenario flashcrowd -nodes 120 -quick
 	$(GO) run -race ./cmd/exchswarm -scenario churn -nodes 100 -restarts 60 -quick
+	$(GO) run -race ./cmd/exchswarm -scenario cheater -nodes 120 -mediators 4 -quick
+	$(GO) run -race ./cmd/exchswarm -scenario medfail -nodes 80 -mediators 4 -quick
 
 ## fuzz-smoke: a short native-fuzzing pass over the wire codec; CI runs it
 ## in the short job so every push hammers Decode with fresh mutated frames.

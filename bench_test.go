@@ -1,6 +1,7 @@
 package barter
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"math"
 	"runtime"
@@ -8,7 +9,9 @@ import (
 
 	"barter/internal/core"
 	"barter/internal/experiment"
+	"barter/internal/mediator"
 	"barter/internal/metrics"
+	"barter/internal/protocol"
 	"barter/internal/runner"
 	"barter/internal/sim"
 )
@@ -262,6 +265,69 @@ func BenchmarkRingSearchPolicies(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s.SearchOnce(core.PeerID(i%cfg.NumPeers), pol)
 			}
+		})
+	}
+}
+
+// BenchmarkMediatorVerify measures the live mediator tier's audit
+// round-trip — deposit-backed verifies through the shard-aware client over
+// the in-memory transport — for a single shard and a 4-shard cluster, so
+// BENCH_2.json tracks the live stack alongside the simulator.
+func BenchmarkMediatorVerify(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			const objects = 64
+			tr := NewMemTransport()
+			content := make([][]byte, objects+1)
+			digests := make([][32]byte, objects+1)
+			for o := 1; o <= objects; o++ {
+				content[o] = []byte(fmt.Sprintf("bench-object-%d-payload", o))
+				digests[o] = sha256.Sum256(content[o])
+			}
+			oracle := func(o ObjectID) ([][32]byte, bool) {
+				if o < 1 || int(o) > objects {
+					return nil, false
+				}
+				return [][32]byte{digests[o]}, true
+			}
+			addrs := make([]string, shards)
+			for i := range addrs {
+				addrs[i] = fmt.Sprintf("mem://bench-med-%d", i)
+			}
+			cluster, err := NewMediatorCluster(tr, addrs, oracle)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Close()
+			client, err := NewMedClient(MedClientConfig{Transport: tr, Seeds: cluster.Addrs()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+
+			const sender, receiver = PeerID(1), PeerID(2)
+			samples := make([]protocol.Block, objects+1)
+			for o := 1; o <= objects; o++ {
+				obj := ObjectID(o)
+				var key [16]byte
+				key[0] = byte(o)
+				if err := client.Deposit(uint64(o), sender, obj, key); err != nil {
+					b.Fatal(err)
+				}
+				sealed, err := mediator.Seal(key, sender, receiver, obj, 0, content[o])
+				if err != nil {
+					b.Fatal(err)
+				}
+				samples[o] = protocol.Block{Object: obj, Index: 0, Origin: sender, Recipient: receiver, Encrypted: true, Payload: sealed}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o := i%objects + 1
+				if _, err := client.Verify(uint64(o), receiver, sender, ObjectID(o), samples[o:o+1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "verifies/s")
 		})
 	}
 }

@@ -12,6 +12,12 @@
 //	exchswarm -scenario churn -nodes 120 -restarts 100 -quick -v
 //	exchswarm -scenario mixed -nodes 50 -tcp -peers
 //	exchswarm -scenario adversary -nodes 80 -adaptive 0.2 -whitewash 0.1 -partial 0.2 -quick
+//	exchswarm -scenario cheater -nodes 120 -mediators 4 -quick
+//	exchswarm -scenario medfail -nodes 80 -mediators 4 -medkills 6 -quick -v
+//
+// -mediators shards the mediator tier (consistent hashing over object id)
+// for any scenario; medfail additionally kills and restarts shards mid-run
+// while nodes speak the mediated block path natively.
 //
 // The aggregate TSV mirrors Figure 12's axes (mean download time per peer
 // class vs. fraction of non-sharing peers); -peers appends one row per node
@@ -59,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		wwash    = fs.Float64("whitewash", 0, "fraction of whitewashers (adversary scenario)")
 		partial  = fs.Float64("partial", 0, "fraction of partial sharers (adversary scenario)")
 		restarts = fs.Int("restarts", 0, "node restarts mid-run (churn scenario)")
+		medshard = fs.Int("mediators", 0, "mediator tier size in shards (0 = scenario default)")
+		medkills = fs.Int("medkills", 0, "mediator shard kill/restart cycles (medfail scenario)")
 		objSize  = fs.Int("objsize", 0, "object size in bytes (0 = scenario default)")
 		block    = fs.Int("block", 0, "block size in bytes (0 = scenario default)")
 		slots    = fs.Int("slots", 0, "upload slots per sharer (0 = scenario default)")
@@ -96,6 +104,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		WhitewashFrac: *wwash,
 		PartialFrac:   *partial,
 		Restarts:      *restarts,
+		Mediators:     *medshard,
+		MedKills:      *medkills,
 		ObjectSize:    *objSize,
 		BlockSize:     *block,
 		UploadSlots:   *slots,

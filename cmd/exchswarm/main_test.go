@@ -10,7 +10,7 @@ func TestListScenarios(t *testing.T) {
 	if err := run([]string{"-list"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"flashcrowd", "mixed", "freerider", "cheater", "churn"} {
+	for _, want := range []string{"flashcrowd", "mixed", "freerider", "cheater", "churn", "adversary", "medfail"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out.String())
 		}
@@ -117,5 +117,24 @@ func TestQuickFlashCrowd(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "finished in") {
 		t.Fatalf("-v progress missing:\n%s", errOut.String())
+	}
+}
+
+// TestMedfailThroughCLI drives the mediator-failover scenario end to end
+// through the CLI surface: a sharded tier, kills mid-run, and the mediator
+// comment line in the TSV.
+func TestMedfailThroughCLI(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-scenario", "medfail", "-nodes", "24", "-quick",
+		"-mediators", "3", "-medkills", "2", "-seed", "7"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "shards=3") {
+		t.Fatalf("TSV missing mediator tier line:\n%s", got)
+	}
+	if !strings.Contains(got, "flagged=") {
+		t.Fatalf("TSV missing flagged counter:\n%s", got)
 	}
 }

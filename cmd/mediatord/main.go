@@ -1,11 +1,24 @@
-// Command mediatord runs the trusted mediator of Section III-B over TCP.
-// Its digest oracle is seeded from a registry directory: every file in the
-// directory named <objectID>.bin contributes that object's trusted block
-// digests.
+// Command mediatord runs the trusted mediator of Section III-B over TCP —
+// standalone, or as one shard of a horizontally sharded tier. Its digest
+// oracle is seeded from a registry directory: every file in the directory
+// named <objectID>.bin contributes that object's trusted block digests.
 //
 //	mediatord -listen 127.0.0.1:7100 -registry ./content -block 65536
 //
-// The mediator serves until interrupted, or for -duration if one is given.
+// Sharded tier: run one process per shard, each told its position and the
+// full member list (same order everywhere; "-" marks this process's own
+// entry, substituted with -listen):
+//
+//	mediatord -listen 127.0.0.1:7100 -shard 0/2 -shardmap -,127.0.0.1:7101 -registry ./content
+//	mediatord -listen 127.0.0.1:7101 -shard 1/2 -shardmap 127.0.0.1:7100,- -registry ./content
+//
+// Each shard serves (and redirects) only its slice of the object space,
+// partitioned by consistent hashing, and answers shard-map requests so
+// clients bootstrapped at any member discover the rest.
+//
+// The mediator serves until SIGINT/SIGTERM (closing gracefully: open
+// connections are torn down and their serve goroutines joined), or for
+// -duration if one is given.
 package main
 
 import (
@@ -15,9 +28,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"barter"
@@ -27,11 +43,37 @@ import (
 // already printed to stderr.
 var errUsage = errors.New("invalid arguments")
 
+// notifySignals is swapped by tests to inject signals without raising them
+// process-wide.
+var notifySignals = func(ch chan<- os.Signal) {
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "mediatord:", err)
 		os.Exit(1)
 	}
+}
+
+// parseShard parses "i/N" into a shard position.
+func parseShard(s string) (index, count int, err error) {
+	idx, rest, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard wants i/N, got %q", s)
+	}
+	index, err = strconv.Atoi(idx)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-shard index %q: %w", idx, err)
+	}
+	count, err = strconv.Atoi(rest)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-shard count %q: %w", rest, err)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("-shard %q out of range", s)
+	}
+	return index, count, nil
 }
 
 // loadRegistry digests every <objectID>.bin file in dir at the given block
@@ -76,6 +118,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		registry = fs.String("registry", "", "directory of <objectID>.bin content files")
 		block    = fs.Int("block", 64<<10, "block size in bytes (must match the peers')")
 		duration = fs.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
+		shard    = fs.String("shard", "", `shard position "i/N" within a mediator tier (empty = standalone)`)
+		shardmap = fs.String("shardmap", "", `comma-separated member addresses in index order; "-" marks this process (required with -shard when N > 1)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -87,6 +131,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-registry is required (the mediator needs a trusted digest source)")
 	}
 
+	var opts barter.MediatorShardOpts
+	// selfAddr carries this shard's bound address into the topology map: a
+	// ":0" listen would otherwise advertise an undialable port 0 as its own
+	// entry. Stored once the listener exists; until then the raw -listen
+	// value stands in.
+	var selfAddr atomic.Value
+	if *shard != "" {
+		index, count, err := parseShard(*shard)
+		if err != nil {
+			return err
+		}
+		opts.Index, opts.Count = index, count
+		if count > 1 {
+			members := strings.Split(*shardmap, ",")
+			if len(members) != count {
+				return fmt.Errorf("-shardmap names %d members, -shard says %d", len(members), count)
+			}
+			for i, m := range members {
+				if m == "-" {
+					members[i] = *listen
+				}
+			}
+			if members[index] != *listen {
+				return fmt.Errorf("-shardmap entry %d is %q, but this process listens on %q", index, members[index], *listen)
+			}
+			// A static deployment: the topology is fixed at launch, except
+			// the self entry, which tracks the bound address.
+			selfIdx := index
+			opts.Map = func() (uint64, []string) {
+				out := append([]string(nil), members...)
+				if a, ok := selfAddr.Load().(string); ok {
+					out[selfIdx] = a
+				}
+				return 1, out
+			}
+		}
+	}
+
 	digests, err := loadRegistry(*registry, *block)
 	if err != nil {
 		return err
@@ -95,18 +177,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "registered object %d: %d blocks\n", objID, len(digs))
 	}
 
-	med, err := barter.NewMediator(barter.NewTCPTransport(), *listen, func(o barter.ObjectID) ([][32]byte, bool) {
+	oracle := func(o barter.ObjectID) ([][32]byte, bool) {
 		d, ok := digests[o]
 		return d, ok
-	})
+	}
+	med, err := barter.NewMediatorShard(barter.NewTCPTransport(), *listen, oracle, opts)
 	if err != nil {
 		return err
 	}
 	defer med.Close()
-	fmt.Fprintf(stdout, "mediator listening on %s with %d registered objects\n", med.Addr(), len(digests))
-	if *duration > 0 {
-		time.Sleep(*duration)
-		return nil
+	selfAddr.Store(med.Addr())
+	if opts.Count > 1 {
+		fmt.Fprintf(stdout, "mediator shard %d/%d listening on %s with %d registered objects\n",
+			opts.Index, opts.Count, med.Addr(), len(digests))
+	} else {
+		fmt.Fprintf(stdout, "mediator listening on %s with %d registered objects\n", med.Addr(), len(digests))
 	}
-	select {}
+
+	sigs := make(chan os.Signal, 1)
+	notifySignals(sigs)
+	var expired <-chan time.Time
+	if *duration > 0 {
+		t := time.NewTimer(*duration)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case sig := <-sigs:
+		// Graceful: the deferred Close tears down open connections and
+		// joins every serve goroutine instead of dying mid-audit.
+		fmt.Fprintf(stdout, "received %v; shutting down\n", sig)
+	case <-expired:
+	}
+	return nil
 }

@@ -4,7 +4,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"barter"
 )
 
 func TestBadFlagErrors(t *testing.T) {
@@ -78,5 +82,159 @@ func TestServeDuration(t *testing.T) {
 	}
 	if !strings.Contains(got, "mediator listening on 127.0.0.1:") {
 		t.Fatalf("output:\n%s", got)
+	}
+}
+
+// registryDir builds a one-object registry for smoke runs.
+func registryDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "1.bin"), make([]byte, 2048), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestGracefulSignalShutdown: a mediatord with no -duration must serve
+// until SIGINT/SIGTERM and then exit cleanly through Close, not die
+// mid-connection.
+func TestGracefulSignalShutdown(t *testing.T) {
+	sigs := make(chan chan<- os.Signal, 1)
+	old := notifySignals
+	notifySignals = func(ch chan<- os.Signal) { sigs <- ch }
+	defer func() { notifySignals = old }()
+
+	var out, errOut strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-registry", registryDir(t)}, &out, &errOut)
+	}()
+	select {
+	case ch := <-sigs:
+		ch <- os.Interrupt
+	case <-time.After(5 * time.Second):
+		t.Fatal("run never registered a signal handler")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after SIGINT: %v\n%s", err, errOut.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not exit on SIGINT")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("no graceful-shutdown message:\n%s", out.String())
+	}
+}
+
+// TestShardFlagParsing covers the i/N parser's edges.
+func TestShardFlagParsing(t *testing.T) {
+	if i, n, err := parseShard("2/4"); err != nil || i != 2 || n != 4 {
+		t.Fatalf("parseShard(2/4) = %d, %d, %v", i, n, err)
+	}
+	for _, bad := range []string{"", "3", "4/4", "-1/4", "a/4", "1/b", "1/0"} {
+		if _, _, err := parseShard(bad); err == nil {
+			t.Fatalf("parseShard(%q) accepted", bad)
+		}
+	}
+}
+
+// TestShardModeSmoke boots one shard of a declared 2-shard tier over real
+// TCP and lets -duration expire.
+func TestShardModeSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{
+		"-listen", "127.0.0.1:7981",
+		"-shard", "0/2",
+		"-shardmap", "-,127.0.0.1:7982",
+		"-registry", registryDir(t),
+		"-block", "1024",
+		"-duration", "50ms",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "mediator shard 0/2 listening on") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+// TestShardMapValidation: a member list that disagrees with -shard, or a
+// self entry that contradicts -listen, must be refused.
+func TestShardMapValidation(t *testing.T) {
+	dir := registryDir(t)
+	var out, errOut strings.Builder
+	if err := run([]string{"-listen", "127.0.0.1:0", "-shard", "0/2", "-shardmap", "-", "-registry", dir}, &out, &errOut); err == nil {
+		t.Fatal("short shardmap accepted")
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0", "-shard", "0/2", "-shardmap", "127.0.0.1:9,127.0.0.1:10", "-registry", dir}, &out, &errOut); err == nil {
+		t.Fatal("shardmap contradicting -listen accepted")
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0", "-shard", "9/2", "-shardmap", "-,-", "-registry", dir}, &out, &errOut); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+// syncBuf is a concurrency-safe output sink for tests that read a running
+// daemon's output.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestShardMapAdvertisesBoundAddr: a shard listening on ":0" must advertise
+// its real bound port in the topology map, not the literal flag value.
+func TestShardMapAdvertisesBoundAddr(t *testing.T) {
+	var out, errOut syncBuf
+	dir := registryDir(t) // on the test goroutine: TempDir cleanup registration
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-shard", "0/2",
+			"-shardmap", "-,127.0.0.1:7993",
+			"-registry", dir,
+			"-duration", "3s",
+		}, &out, &errOut)
+	}()
+	// Wait for the daemon to print its bound address.
+	var addr string
+	for i := 0; i < 100; i++ {
+		if m := strings.SplitN(out.String(), "listening on ", 2); len(m) == 2 {
+			addr = strings.Fields(m[1])[0]
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("no bound address printed: %q", out.String())
+	}
+	cl, err := barter.NewMedClient(barter.MedClientConfig{Transport: barter.NewTCPTransport(), Seeds: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, addrs, err := cl.Map()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 || addrs[0] != addr {
+		t.Fatalf("shard map advertises %v, want self entry %s", addrs, addr)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\n%s", err, errOut.String())
 	}
 }

@@ -14,9 +14,10 @@
 //     policies), shared by the simulator and the live implementation.
 //   - A live, concurrent peer implementation of the protocol over in-memory
 //     or TCP transports, including the trusted-mediator defense against
-//     middleman cheating (Section III-B), exposed through NewNode and
-//     NewMediator — plus a swarm harness (RunSwarm, cmd/exchswarm) that
-//     runs hundreds of live peers through declarative scenarios.
+//     middleman cheating (Section III-B), exposed through NewNode,
+//     NewMediator, and NewMediatorCluster — plus a swarm harness (RunSwarm,
+//     cmd/exchswarm) that runs hundreds of live peers through declarative
+//     scenarios.
 //
 // Peer behavior is declarative and shared across layers: internal/strategy
 // defines population classes — sharers, static free-riders, adaptive
@@ -55,20 +56,38 @@
 // regenerates, gates (>15% event-rate regression fails), and archives on
 // every push.
 //
+// The trusted mediator is a horizontally scalable service tier, not a
+// single process: a MediatorCluster partitions escrow and flagged-peer
+// state across N shards by consistent hashing over object id, every shard
+// serves the tier's topology (and redirects misrouted traffic), and nodes
+// reach it exclusively through the shard-aware client layer
+// (internal/medclient) — shard-map caching, pooled per-shard connections,
+// retry with backoff, write-through replica deposits, and failover to the
+// replica shard when a mediator dies mid-verify. With Config.Mediator set,
+// nodes speak the mediated block path natively: blocks travel sealed under
+// an escrowed per-exchange key and a transfer completes only after the
+// mediator audits sample blocks and releases the key, so cheaters are
+// flagged tier-wide rather than just blacklisted locally. A shard restart
+// loses its in-memory escrow by design; the protocol distinguishes that
+// transient refusal (no honest peer is ever flagged for it) and fresh
+// sessions re-escrow, so detection converges through failures.
+//
 // The live stack scales past unit scenarios through the swarm harness
-// (internal/swarm): RunSwarm launches N real nodes plus a mediator over the
-// in-memory transport or TCP loopback (with configurable per-I/O deadlines)
-// and drives a declarative scenario — flash crowd, steady mixed workload,
-// free-rider fraction, mediator-audited cheaters, or churn that closes and
-// restarts nodes mid-run hundreds of times. Results aggregate every node's
-// Stats into the simulator's figure-shaped TSV (mean download seconds per
-// "live/<class>" series keyed by the free-rider fraction), so the live
-// network reproduces Figure 12's sharing vs non-sharing gap side by side
-// with exchsim output. Shutdown is graceful end to end: nodes track every
-// connection from the moment it is accepted or dialed, Close unblocks all
-// readers and writers and fails pending Download waiters with
-// ErrNodeClosed, and the mediator tears down idle client connections
-// instead of waiting on them forever.
+// (internal/swarm): RunSwarm launches N real nodes plus a mediator tier
+// (Config.Mediators shards) over the in-memory transport or TCP loopback
+// (with configurable per-I/O deadlines) and drives a declarative scenario —
+// flash crowd, steady mixed workload, free-rider fraction, mediator-audited
+// cheaters, churn that closes and restarts nodes mid-run hundreds of times,
+// or medfail, which kills and restarts mediator shards while mediated
+// transfers are in flight and asserts cheater detection still converges.
+// Results aggregate every node's Stats into the simulator's figure-shaped
+// TSV (mean download seconds per "live/<class>" series keyed by the
+// free-rider fraction), so the live network reproduces Figure 12's sharing
+// vs non-sharing gap side by side with exchsim output. Shutdown is graceful
+// end to end: nodes track every connection from the moment it is accepted
+// or dialed, Close unblocks all readers and writers and fails pending
+// Download waiters with ErrNodeClosed, and the mediator tears down idle
+// client connections instead of waiting on them forever.
 //
 // The examples directory demonstrates all three layers; cmd/exchsim
 // regenerates the paper's figures from the command line (-parallel bounds

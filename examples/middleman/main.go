@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"barter"
+	"barter/internal/medclient"
 	"barter/internal/mediator"
 	"barter/internal/protocol"
 )
@@ -60,7 +61,7 @@ func run() error {
 		}
 		sealed[i] = protocol.Block{Object: objX, Index: uint32(i), Origin: peerA, Recipient: peerM, Encrypted: true, Payload: enc}
 	}
-	escrow, err := mediator.Dial(tr, "mem://mediator")
+	escrow, err := medclient.New(medclient.Config{Transport: tr, Seeds: []string{"mem://mediator"}})
 	if err != nil {
 		return err
 	}
@@ -78,7 +79,7 @@ func run() error {
 	// M relays A's sealed blocks to C verbatim: it cannot decrypt them and
 	// cannot rewrite the encrypted control headers.
 	fmt.Println("M relays A's encrypted blocks of x to C and claims authorship.")
-	clientC, err := mediator.Dial(tr, "mem://mediator")
+	clientC, err := medclient.New(medclient.Config{Transport: tr, Seeds: []string{"mem://mediator"}})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,522 @@
+// Package medclient is the node-side client layer of the mediator tier.
+// Peers used to dial a single mediator and speak the escrow protocol
+// inline; this package replaces that with a proper client: it bootstraps
+// from any shard address, fetches and caches the tier's shard map, pools
+// one connection per shard, routes every escrow and audit to the owning
+// shard by the same consistent hashing the shards use (redirects correct a
+// stale map), retries with exponential backoff, and fails over to the
+// replica shard when a mediator dies mid-verify. Deposits are written
+// through to the replica as well, so a verify that fails over after the
+// primary crashes still finds the escrowed key.
+package medclient
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+	"barter/internal/mediator"
+	"barter/internal/protocol"
+	"barter/internal/transport"
+)
+
+// Errors surfaced to callers. ErrRejected and ErrNoKey are verdicts — the
+// owning shard answered — and are never retried; ErrUnavailable means every
+// attempt failed to get a verdict at all.
+var (
+	// ErrClosed is returned once Close has been called.
+	ErrClosed = errors.New("medclient: closed")
+	// ErrRejected is the mediator's audit verdict: the samples prove the
+	// claimed sender cheated.
+	ErrRejected = mediator.ErrRejected
+	// ErrNoKey means the owning shard holds no escrowed key for the claimed
+	// sender — transient: the deposit has not arrived yet, or the shard
+	// restarted and lost its escrow. Not evidence of cheating.
+	ErrNoKey = errors.New("medclient: no escrowed key for exchange")
+	// ErrBadRequest means the mediator refused to judge the audit — the
+	// request was malformed or exceeded its limits. The requester's own
+	// fault; never a verdict against the sender.
+	ErrBadRequest = errors.New("medclient: mediator refused the audit request")
+	// ErrUnavailable means the whole tier was unreachable through every
+	// retry and failover attempt.
+	ErrUnavailable = errors.New("medclient: mediator tier unavailable")
+)
+
+// Config parameterizes a client. Transport and at least one seed address
+// are required.
+type Config struct {
+	// Transport carries the protocol; required.
+	Transport transport.Transport
+	// Seeds are bootstrap mediator addresses — any live subset of the
+	// tier. The real topology is fetched from whichever seed answers.
+	Seeds []string
+	// Attempts bounds how many times one operation is tried before
+	// ErrUnavailable; attempts alternate between the owning shard and its
+	// replica (default 5).
+	Attempts int
+	// Backoff is the delay before the second attempt, doubling per attempt
+	// (default 8ms).
+	Backoff time.Duration
+	// Logf, when set, receives debug lines.
+	Logf func(format string, args ...any)
+}
+
+// Client is a shard-aware mediator client, safe for concurrent use.
+// Operations to distinct shards proceed in parallel; operations on one
+// shard's connection are serialized.
+type Client struct {
+	cfg Config
+
+	mu       sync.Mutex
+	epoch    uint64
+	shards   []string // addr by shard index; nil until the first map fetch
+	mapStale bool
+	conns    map[string]*shardConn
+	closed   bool
+
+	stop chan struct{}
+}
+
+// shardConn is one pooled connection; its mutex serializes RPCs so replies
+// can never be claimed by the wrong caller.
+type shardConn struct {
+	mu   sync.Mutex
+	conn transport.Conn
+}
+
+// New builds a client. No connection is made until the first operation.
+func New(cfg Config) (*Client, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("medclient: Transport is required")
+	}
+	if len(cfg.Seeds) == 0 {
+		return nil, errors.New("medclient: at least one seed address is required")
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 5
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 8 * time.Millisecond
+	}
+	return &Client{
+		cfg:   cfg,
+		conns: make(map[string]*shardConn),
+		stop:  make(chan struct{}),
+	}, nil
+}
+
+// Close releases every pooled connection and aborts in-flight retries.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	open := make([]*shardConn, 0, len(c.conns))
+	for _, sc := range c.conns {
+		open = append(open, sc)
+	}
+	c.conns = make(map[string]*shardConn)
+	c.mu.Unlock()
+	close(c.stop)
+	for _, sc := range open {
+		_ = sc.conn.Close()
+	}
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf("medclient: "+format, args...)
+	}
+}
+
+// sleep waits d unless the client closes first.
+func (c *Client) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.stop:
+		return false
+	}
+}
+
+// getConn returns the pooled connection for addr, dialing on first use.
+func (c *Client) getConn(addr string) (*shardConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if sc, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		return sc, nil
+	}
+	c.mu.Unlock()
+	conn, err := c.cfg.Transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	if sc, ok := c.conns[addr]; ok {
+		// A concurrent caller won the dial race; keep theirs.
+		_ = conn.Close()
+		return sc, nil
+	}
+	sc := &shardConn{conn: conn}
+	c.conns[addr] = sc
+	return sc, nil
+}
+
+// dropConn evicts a connection after a transport error and marks the shard
+// map stale, so the next attempt refetches topology (the shard may have
+// restarted under a new address).
+func (c *Client) dropConn(addr string, sc *shardConn) {
+	c.mu.Lock()
+	if cur, ok := c.conns[addr]; ok && cur == sc {
+		delete(c.conns, addr)
+	}
+	c.mapStale = true
+	c.mu.Unlock()
+	_ = sc.conn.Close()
+}
+
+// applyMap installs a fetched shard map unless a newer epoch is cached.
+func (c *Client) applyMap(epoch uint64, addrs []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch < c.epoch && c.shards != nil {
+		return
+	}
+	c.epoch = epoch
+	c.shards = append([]string(nil), addrs...)
+	c.mapStale = false
+}
+
+// Map returns the cached shard map, fetching it first if needed.
+func (c *Client) Map() (uint64, []string, error) {
+	if _, err := c.shardMap(); err != nil {
+		return 0, nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch, append([]string(nil), c.shards...), nil
+}
+
+// shardMap returns the cached topology, refreshing from any reachable shard
+// or seed when the cache is empty or stale.
+func (c *Client) shardMap() ([]string, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.shards != nil && !c.mapStale {
+		out := append([]string(nil), c.shards...)
+		c.mu.Unlock()
+		return out, nil
+	}
+	candidates := append(append([]string(nil), c.shards...), c.cfg.Seeds...)
+	epoch := c.epoch
+	c.mu.Unlock()
+
+	var lastErr error = ErrUnavailable
+	for _, addr := range candidates {
+		if addr == "" {
+			continue
+		}
+		sc, err := c.getConn(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		reply, err := c.fetchMap(sc, epoch)
+		if err != nil {
+			c.dropConn(addr, sc)
+			lastErr = err
+			continue
+		}
+		if len(reply.Shards) == 0 {
+			lastErr = fmt.Errorf("medclient: %s advertised an empty shard map", addr)
+			continue
+		}
+		addrs := make([]string, len(reply.Shards))
+		for _, s := range reply.Shards {
+			if int(s.Index) < len(addrs) {
+				addrs[s.Index] = s.Addr
+			}
+		}
+		c.applyMap(reply.Epoch, addrs)
+		return addrs, nil
+	}
+	return nil, fmt.Errorf("medclient: shard map fetch failed: %w", lastErr)
+}
+
+func (c *Client) fetchMap(sc *shardConn, epoch uint64) (*protocol.MedShardMap, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if err := sc.conn.Send(&protocol.MedShardMapReq{Epoch: epoch}); err != nil {
+		return nil, err
+	}
+	for {
+		msg, err := sc.conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if m, ok := msg.(*protocol.MedShardMap); ok {
+			return m, nil
+		}
+	}
+}
+
+// op runs one request-reply exchange against the shard owning obj, retrying
+// with backoff and alternating primary/replica on failure. handle inspects
+// each reply: it returns done once the terminal reply arrived, along with
+// the operation's verdict. Redirects update routing mid-operation (followed
+// immediately, no backoff), and a no-key verdict from the primary is given
+// one shot at the replica — the write-through deposit copy may have
+// survived a primary restart.
+func (c *Client) op(obj catalog.ObjectID, req protocol.Message, handle func(protocol.Message) (bool, error)) error {
+	var lastErr error = ErrUnavailable
+	redirectTo := ""
+	skipBackoff := false
+	forceIdx := -1
+	var noKeyFrom [2]bool // primary, replica answered "no escrow"
+	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
+		if attempt > 0 && !skipBackoff {
+			if !c.sleep(backoffFor(c.cfg.Backoff, attempt)) {
+				return ErrClosed
+			}
+		}
+		skipBackoff = false
+		shards, err := c.shardMap()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		primary, replica := mediator.ShardFor(obj, len(shards))
+		idx := primary
+		if attempt%2 == 1 {
+			idx = replica
+		}
+		if forceIdx >= 0 && forceIdx < len(shards) {
+			idx, forceIdx = forceIdx, -1
+		}
+		addr := shards[idx]
+		if redirectTo != "" {
+			addr, redirectTo = redirectTo, ""
+		}
+		if addr == "" {
+			lastErr = fmt.Errorf("medclient: no address for shard %d", idx)
+			continue
+		}
+		sc, err := c.getConn(addr)
+		if err != nil {
+			c.markMapStale()
+			lastErr = err
+			continue
+		}
+		done, redirect, opErr := c.roundTrip(sc, req, handle)
+		switch {
+		case done:
+			// Attribute a no-key verdict to the shard actually dialed — a
+			// followed redirect can differ from the parity-derived idx —
+			// so the write-through copy on the other owner is always
+			// consulted before the verdict stands.
+			side := -1
+			switch addr {
+			case shards[primary]:
+				side = 0
+			case shards[replica]:
+				side = 1
+			}
+			if errors.Is(opErr, ErrNoKey) && replica != primary && side >= 0 {
+				// This shard holds no escrow — it may have restarted and
+				// lost it. Deposits are written through to both owners, so
+				// consult the other one before giving the verdict back.
+				noKeyFrom[side] = true
+				if !noKeyFrom[1-side] {
+					if side == 0 {
+						forceIdx = replica
+					} else {
+						forceIdx = primary
+					}
+					skipBackoff = true
+					lastErr = opErr
+					continue
+				}
+			}
+			return opErr
+		case redirect != nil:
+			// Misrouted: follow the owner's coordinates immediately, and if
+			// the shard advertises a topology epoch we have not seen, mark
+			// the cached map stale so the next attempt refetches it instead
+			// of bouncing off the same stale entry forever.
+			redirectTo = redirect.Addr
+			skipBackoff = true
+			c.mu.Lock()
+			if redirect.Epoch != c.epoch {
+				c.mapStale = true
+			}
+			c.mu.Unlock()
+			c.logf("redirected for object %d to shard %d (%s)", obj, redirect.Shard, redirect.Addr)
+			lastErr = fmt.Errorf("medclient: redirected to shard %d", redirect.Shard)
+		default:
+			c.dropConn(addr, sc)
+			lastErr = opErr
+			c.logf("attempt %d for object %d via %s failed: %v", attempt, obj, addr, opErr)
+		}
+	}
+	if errors.Is(lastErr, ErrClosed) {
+		return lastErr
+	}
+	if errors.Is(lastErr, ErrNoKey) {
+		// Both primary and replica answered: the escrow is genuinely gone.
+		return lastErr
+	}
+	return fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+}
+
+// maxBackoff caps the exponential schedule; past it every retry waits the
+// same bounded interval (an unclamped shift would overflow time.Duration at
+// high attempt counts and collapse the backoff to zero).
+const maxBackoff = 2 * time.Second
+
+func backoffFor(base time.Duration, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 20 {
+		shift = 20
+	}
+	d := base << shift
+	if d <= 0 || d > maxBackoff {
+		return maxBackoff
+	}
+	return d
+}
+
+func (c *Client) markMapStale() {
+	c.mu.Lock()
+	c.mapStale = true
+	c.mu.Unlock()
+}
+
+// roundTrip performs one serialized RPC on sc. It returns done when handle
+// accepted a terminal reply (err is then the verdict), a redirect if the
+// shard refused ownership, or neither on a transport error.
+func (c *Client) roundTrip(sc *shardConn, req protocol.Message, handle func(protocol.Message) (bool, error)) (done bool, redirect *protocol.MedRedirect, err error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if err := sc.conn.Send(req); err != nil {
+		return false, nil, err
+	}
+	for {
+		msg, err := sc.conn.Recv()
+		if err != nil {
+			return false, nil, err
+		}
+		if r, ok := msg.(*protocol.MedRedirect); ok {
+			return false, r, nil
+		}
+		ok, verdict := handle(msg)
+		if ok {
+			return true, nil, verdict
+		}
+	}
+}
+
+// Deposit escrows a sender's key for one exchange with the owning shard,
+// waiting for the acknowledgement so a subsequent audit is guaranteed to
+// see it, then writes the key through to the replica shard (best effort) so
+// an audit that fails over after a primary crash still finds it.
+func (c *Client) Deposit(exchangeID uint64, sender core.PeerID, obj catalog.ObjectID, key [16]byte) error {
+	req := &protocol.MedDeposit{ExchangeID: exchangeID, Sender: sender, Object: obj, Key: key}
+	err := c.op(obj, req, func(msg protocol.Message) (bool, error) {
+		if ack, ok := msg.(*protocol.MedKey); ok && ack.ExchangeID == exchangeID && ack.Key == key {
+			return true, nil
+		}
+		return false, nil
+	})
+	if err != nil {
+		return err
+	}
+	c.replicate(obj, req)
+	return nil
+}
+
+// replicate writes a deposit to the replica shard, one attempt, errors
+// tolerated: the replica copy only matters if the primary later dies, and
+// the sender re-deposits on every new transfer session anyway.
+func (c *Client) replicate(obj catalog.ObjectID, req *protocol.MedDeposit) {
+	shards, err := c.shardMap()
+	if err != nil {
+		return
+	}
+	primary, replica := mediator.ShardFor(obj, len(shards))
+	if replica == primary || replica >= len(shards) || shards[replica] == "" {
+		return
+	}
+	sc, err := c.getConn(shards[replica])
+	if err != nil {
+		return
+	}
+	done, _, err := c.roundTrip(sc, req, func(msg protocol.Message) (bool, error) {
+		if ack, ok := msg.(*protocol.MedKey); ok && ack.ExchangeID == req.ExchangeID {
+			return true, nil
+		}
+		return false, nil
+	})
+	if !done || err != nil {
+		c.dropConn(shards[replica], sc)
+		c.logf("replica deposit for object %d failed: %v", obj, err)
+	}
+}
+
+// Verify submits received sample blocks for audit and returns the sender's
+// escrowed key on success. ErrRejected means the audit proved cheating;
+// ErrNoKey means the shard held no escrow (transient); ErrUnavailable means
+// no shard could be reached through every retry and failover.
+func (c *Client) Verify(exchangeID uint64, requester, sender core.PeerID, obj catalog.ObjectID, samples []protocol.Block) ([16]byte, error) {
+	req := &protocol.MedVerify{
+		ExchangeID: exchangeID,
+		Requester:  requester,
+		Sender:     sender,
+		Object:     obj,
+		Samples:    samples,
+	}
+	var key [16]byte
+	err := c.op(obj, req, func(msg protocol.Message) (bool, error) {
+		switch v := msg.(type) {
+		case *protocol.MedKey:
+			if v.ExchangeID == exchangeID {
+				key = v.Key
+				return true, nil
+			}
+		case *protocol.MedReject:
+			if v.ExchangeID == exchangeID {
+				switch v.Code {
+				case protocol.MedRejectNoKey:
+					return true, fmt.Errorf("%w: %s", ErrNoKey, v.Reason)
+				case protocol.MedRejectAudit:
+					return true, fmt.Errorf("%w: %s", ErrRejected, v.Reason)
+				default:
+					// Oversize, malformed, or a code this client does not
+					// know: the mediator refused to judge — never a
+					// cheating verdict against the sender.
+					return true, fmt.Errorf("%w: %s", ErrBadRequest, v.Reason)
+				}
+			}
+		}
+		return false, nil
+	})
+	return key, err
+}

@@ -23,12 +23,24 @@ import (
 	"barter/internal/transport"
 )
 
-// ErrRejected is returned by Client.Verify when the audit fails.
+// ErrRejected is returned by client Verify calls when the audit fails.
 var ErrRejected = errors.New("mediator: audit rejected the exchange")
 
 // headerLen is the encrypted control header prefix of each sealed payload:
 // origin (4) + recipient (4) + object (4) + index (4).
 const headerLen = 16
+
+// Audit request limits, enforced at the serve read path. The wire codec
+// already bounds decoded frames, but the in-memory transport hands message
+// pointers straight through — no codec runs — so the mediator itself must
+// cap what one MedVerify may ask it to chew on, mirroring the PR 4
+// count-amplification fix one layer up.
+const (
+	// MaxVerifySamples bounds the sample blocks one audit may submit.
+	MaxVerifySamples = 64
+	// MaxVerifyBytes bounds the total sealed payload across those samples.
+	MaxVerifyBytes = 1 << 20
+)
 
 // Seal encrypts one block payload with its control header using AES-CTR
 // under key. The nonce is derived from (object, index) so blocks are
@@ -83,10 +95,24 @@ func crypt(key [16]byte, obj catalog.ObjectID, index uint32, data []byte) ([]byt
 // role here).
 type DigestOracle func(catalog.ObjectID) ([][32]byte, bool)
 
-// Mediator is the trusted audit-and-escrow service. It listens on a
-// transport and serves MedDeposit and MedVerify messages.
+// ShardOpts position a mediator as one member of a sharded tier.
+type ShardOpts struct {
+	// Index and Count place this mediator on the consistent-hash ring;
+	// Count <= 1 means a standalone mediator that owns every object.
+	Index, Count int
+	// Map supplies the current cluster topology — epoch plus the dialable
+	// address of every shard by index — for MedShardMapReq replies and
+	// redirects. Required when Count > 1.
+	Map func() (epoch uint64, addrs []string)
+}
+
+// Mediator is the trusted audit-and-escrow service: one standalone process,
+// or one shard of a Cluster. It listens on a transport and serves
+// MedDeposit, MedVerify, and MedShardMapReq messages, redirecting traffic
+// for objects outside its partition.
 type Mediator struct {
 	oracle DigestOracle
+	shard  ShardOpts
 	ln     transport.Listener
 
 	mu       sync.Mutex
@@ -109,10 +135,23 @@ type depositKey struct {
 	sender   core.PeerID
 }
 
-// New starts a mediator listening on addr.
+// New starts a standalone mediator listening on addr.
 func New(tr transport.Transport, addr string, oracle DigestOracle) (*Mediator, error) {
+	return NewShard(tr, addr, oracle, ShardOpts{})
+}
+
+// NewShard starts a mediator as one member of a sharded tier.
+func NewShard(tr transport.Transport, addr string, oracle DigestOracle, shard ShardOpts) (*Mediator, error) {
 	if oracle == nil {
 		return nil, errors.New("mediator: digest oracle is required")
+	}
+	if shard.Count > 1 {
+		if shard.Index < 0 || shard.Index >= shard.Count {
+			return nil, fmt.Errorf("mediator: shard index %d out of range [0, %d)", shard.Index, shard.Count)
+		}
+		if shard.Map == nil {
+			return nil, errors.New("mediator: sharded tiers need a topology Map")
+		}
 	}
 	ln, err := tr.Listen(addr)
 	if err != nil {
@@ -120,6 +159,7 @@ func New(tr transport.Transport, addr string, oracle DigestOracle) (*Mediator, e
 	}
 	m := &Mediator{
 		oracle:   oracle,
+		shard:    shard,
 		ln:       ln,
 		deposits: make(map[depositKey][16]byte),
 		flagged:  make(map[core.PeerID]int),
@@ -129,6 +169,36 @@ func New(tr transport.Transport, addr string, oracle DigestOracle) (*Mediator, e
 	m.wg.Add(1)
 	go m.acceptLoop()
 	return m, nil
+}
+
+// owns reports whether this shard's partition covers obj, either as its
+// primary or as the replica clients fail over to.
+func (m *Mediator) owns(obj catalog.ObjectID) bool {
+	if m.shard.Count <= 1 {
+		return true
+	}
+	primary, replica := ShardFor(obj, m.shard.Count)
+	return primary == m.shard.Index || replica == m.shard.Index
+}
+
+// shardMap returns the topology this mediator advertises: its cluster's
+// map, or itself as a tier of one.
+func (m *Mediator) shardMap() (uint64, []string) {
+	if m.shard.Map == nil {
+		return 1, []string{m.Addr()}
+	}
+	return m.shard.Map()
+}
+
+// redirect answers a misrouted request with the owning shard's coordinates.
+func (m *Mediator) redirect(conn transport.Conn, obj catalog.ObjectID) {
+	primary, _ := ShardFor(obj, m.shard.Count)
+	epoch, addrs := m.shardMap()
+	addr := ""
+	if primary < len(addrs) {
+		addr = addrs[primary]
+	}
+	_ = conn.Send(&protocol.MedRedirect{Object: obj, Shard: uint32(primary), Addr: addr, Epoch: epoch})
 }
 
 // Addr returns the mediator's dialable address.
@@ -182,6 +252,17 @@ func (m *Mediator) Flagged(p core.PeerID) int {
 	return m.flagged[p]
 }
 
+// FlaggedAll snapshots every flagged peer and its count.
+func (m *Mediator) FlaggedAll() map[core.PeerID]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[core.PeerID]int, len(m.flagged))
+	for p, n := range m.flagged {
+		out[p] = n
+	}
+	return out
+}
+
 func (m *Mediator) acceptLoop() {
 	defer m.wg.Done()
 	for {
@@ -210,7 +291,18 @@ func (m *Mediator) serve(conn transport.Conn) {
 		switch req := msg.(type) {
 		case *protocol.Hello:
 			// Accepted for compatibility with node connections; no reply.
+		case *protocol.MedShardMapReq:
+			epoch, addrs := m.shardMap()
+			reply := &protocol.MedShardMap{Version: protocol.ShardMapVersion, Epoch: epoch}
+			for i, a := range addrs {
+				reply.Shards = append(reply.Shards, protocol.MedShardEntry{Index: uint32(i), Addr: a})
+			}
+			_ = conn.Send(reply)
 		case *protocol.MedDeposit:
+			if !m.owns(req.Object) {
+				m.redirect(conn, req.Object)
+				continue
+			}
 			m.mu.Lock()
 			m.deposits[depositKey{exchange: req.ExchangeID, sender: req.Sender}] = req.Key
 			m.mu.Unlock()
@@ -218,6 +310,20 @@ func (m *Mediator) serve(conn transport.Conn) {
 			// escrow as synchronous.
 			_ = conn.Send(&protocol.MedKey{ExchangeID: req.ExchangeID, Key: req.Key})
 		case *protocol.MedVerify:
+			if !m.owns(req.Object) {
+				m.redirect(conn, req.Object)
+				continue
+			}
+			if oversizedVerify(req) {
+				// A well-behaved client never exceeds the audit limits;
+				// reject without a verdict and drop the connection.
+				_ = conn.Send(&protocol.MedReject{
+					ExchangeID: req.ExchangeID,
+					Code:       protocol.MedRejectOversize,
+					Reason:     "audit request exceeds mediator limits",
+				})
+				return
+			}
 			m.handleVerify(conn, req)
 		default:
 			// Ignore unrelated traffic.
@@ -232,31 +338,44 @@ func (m *Mediator) serve(conn transport.Conn) {
 // released — and it is sent to the connection that proved receipt, which by
 // the header check is the intended recipient.
 func (m *Mediator) handleVerify(conn transport.Conn, req *protocol.MedVerify) {
+	// reject is the audit verdict: the samples, decrypted under the key
+	// the claimed sender itself escrowed, contradict the claim — the
+	// paper's evidence standard for flagging (deposits and audits are
+	// assumed to travel over the peers' secure channels to the mediator).
 	reject := func(reason string) {
 		m.mu.Lock()
 		m.flagged[req.Sender]++
 		m.mu.Unlock()
-		_ = conn.Send(&protocol.MedReject{ExchangeID: req.ExchangeID, Reason: reason})
+		_ = conn.Send(&protocol.MedReject{ExchangeID: req.ExchangeID, Code: protocol.MedRejectAudit, Reason: reason})
+	}
+	// refuse is for faults attributable to the requester or to this
+	// shard's own configuration: no verdict is reached and nobody is
+	// flagged — a malformed audit must never brand an honest sender.
+	refuse := func(code uint8, reason string) {
+		_ = conn.Send(&protocol.MedReject{ExchangeID: req.ExchangeID, Code: code, Reason: reason})
 	}
 	m.mu.Lock()
 	key, ok := m.deposits[depositKey{exchange: req.ExchangeID, sender: req.Sender}]
 	m.mu.Unlock()
 	if !ok {
-		reject("no escrowed key for claimed sender")
+		// Not proof of cheating: the deposit may simply not have arrived
+		// yet, or this shard restarted and lost its escrow. Refuse without
+		// flagging so a transient gap never brands an honest sender.
+		refuse(protocol.MedRejectNoKey, "no escrowed key for claimed sender")
 		return
 	}
 	digests, ok := m.oracle(req.Object)
 	if !ok {
-		reject("object unknown to digest oracle")
+		refuse(protocol.MedRejectBadRequest, "object unknown to digest oracle")
 		return
 	}
 	if len(req.Samples) == 0 {
-		reject("no samples supplied")
+		refuse(protocol.MedRejectBadRequest, "no samples supplied")
 		return
 	}
 	for _, sample := range req.Samples {
 		if sample.Object != req.Object {
-			reject("sample from a different object")
+			refuse(protocol.MedRejectBadRequest, "sample from a different object")
 			return
 		}
 		origin, recipient, payload, err := Open(key, sample.Object, sample.Index, sample.Payload)
@@ -282,75 +401,18 @@ func (m *Mediator) handleVerify(conn transport.Conn, req *protocol.MedVerify) {
 	_ = conn.Send(&protocol.MedKey{ExchangeID: req.ExchangeID, Key: key})
 }
 
-// --- client-side helpers ------------------------------------------------------
-
-// Client is a peer-side handle to a mediator.
-type Client struct {
-	conn transport.Conn
-	mu   sync.Mutex
-}
-
-// Dial connects to a mediator.
-func Dial(tr transport.Transport, addr string) (*Client, error) {
-	conn, err := tr.Dial(addr)
-	if err != nil {
-		return nil, err
+// oversizedVerify applies the audit limits at the read path, before any
+// per-sample work.
+func oversizedVerify(req *protocol.MedVerify) bool {
+	if len(req.Samples) > MaxVerifySamples {
+		return true
 	}
-	return &Client{conn: conn}, nil
-}
-
-// Close releases the connection.
-func (c *Client) Close() { _ = c.conn.Close() }
-
-// Deposit escrows a sender's key for one exchange, waiting for the
-// mediator's acknowledgement so a subsequent audit is guaranteed to see it.
-func (c *Client) Deposit(exchangeID uint64, sender core.PeerID, obj catalog.ObjectID, key [16]byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	err := c.conn.Send(&protocol.MedDeposit{ExchangeID: exchangeID, Sender: sender, Object: obj, Key: key})
-	if err != nil {
-		return err
-	}
-	for {
-		msg, err := c.conn.Recv()
-		if err != nil {
-			return err
-		}
-		if ack, ok := msg.(*protocol.MedKey); ok && ack.ExchangeID == exchangeID && ack.Key == key {
-			return nil
+	total := 0
+	for i := range req.Samples {
+		total += len(req.Samples[i].Payload)
+		if total > MaxVerifyBytes {
+			return true
 		}
 	}
-}
-
-// Verify submits received sample blocks and waits for the mediator's
-// verdict: the sender's key on success, ErrRejected on a failed audit.
-func (c *Client) Verify(exchangeID uint64, requester, sender core.PeerID, obj catalog.ObjectID, samples []protocol.Block) ([16]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	err := c.conn.Send(&protocol.MedVerify{
-		ExchangeID: exchangeID,
-		Requester:  requester,
-		Sender:     sender,
-		Object:     obj,
-		Samples:    samples,
-	})
-	if err != nil {
-		return [16]byte{}, err
-	}
-	for {
-		msg, err := c.conn.Recv()
-		if err != nil {
-			return [16]byte{}, err
-		}
-		switch v := msg.(type) {
-		case *protocol.MedKey:
-			if v.ExchangeID == exchangeID {
-				return v.Key, nil
-			}
-		case *protocol.MedReject:
-			if v.ExchangeID == exchangeID {
-				return [16]byte{}, fmt.Errorf("%w: %s", ErrRejected, v.Reason)
-			}
-		}
-	}
+	return false
 }

@@ -1,30 +1,52 @@
-package mediator
+package mediator_test
 
 import (
 	"bytes"
 	"crypto/sha256"
 	"errors"
+	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"barter/internal/catalog"
 	"barter/internal/core"
+	"barter/internal/medclient"
+	"barter/internal/mediator"
 	"barter/internal/protocol"
 	"barter/internal/transport"
 )
 
+// rawDial opens a plain TCP connection under the protocol framing, for
+// writing pathological bytes no well-behaved transport would emit.
+func rawDial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// expectClosed waits for the remote to drop the connection.
+func expectClosed(nc net.Conn, timeout time.Duration) error {
+	if err := nc.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	var buf [1]byte
+	if _, err := nc.Read(buf[:]); err == nil {
+		return fmt.Errorf("remote sent data instead of closing")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return fmt.Errorf("remote kept the connection open past %v", timeout)
+	}
+	return nil
+}
+
 func TestSealOpenRoundTrip(t *testing.T) {
 	key := [16]byte{1, 2, 3}
 	payload := []byte("the quick brown fox")
-	sealed, err := Seal(key, 7, 9, 42, 3, payload)
+	sealed, err := mediator.Seal(key, 7, 9, 42, 3, payload)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if bytes.Contains(sealed, payload) {
 		t.Fatal("sealed block leaks plaintext")
 	}
-	origin, recipient, got, err := Open(key, 42, 3, sealed)
+	origin, recipient, got, err := mediator.Open(key, 42, 3, sealed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,13 +56,13 @@ func TestSealOpenRoundTrip(t *testing.T) {
 }
 
 func TestOpenWrongKeyFails(t *testing.T) {
-	sealed, err := Seal([16]byte{1}, 7, 9, 42, 3, []byte("data"))
+	sealed, err := mediator.Seal([16]byte{1}, 7, 9, 42, 3, []byte("data"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Wrong key: either the header check fails or origin/recipient decode
 	// to garbage; both must be detectable.
-	origin, recipient, _, err := Open([16]byte{2}, 42, 3, sealed)
+	origin, recipient, _, err := mediator.Open([16]byte{2}, 42, 3, sealed)
 	if err == nil && origin == 7 && recipient == 9 {
 		t.Fatal("wrong key decrypted to the correct header")
 	}
@@ -48,26 +70,26 @@ func TestOpenWrongKeyFails(t *testing.T) {
 
 func TestOpenWrongPositionFails(t *testing.T) {
 	key := [16]byte{5}
-	sealed, err := Seal(key, 7, 9, 42, 3, []byte("data"))
+	sealed, err := mediator.Seal(key, 7, 9, 42, 3, []byte("data"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := Open(key, 42, 4, sealed); err == nil {
+	if _, _, _, err := mediator.Open(key, 42, 4, sealed); err == nil {
 		t.Fatal("block accepted at the wrong index")
 	}
-	if _, _, _, err := Open(key, 43, 3, sealed); err == nil {
+	if _, _, _, err := mediator.Open(key, 43, 3, sealed); err == nil {
 		t.Fatal("block accepted for the wrong object")
 	}
 }
 
 func TestOpenTruncated(t *testing.T) {
-	if _, _, _, err := Open([16]byte{}, 1, 1, []byte("short")); err == nil {
+	if _, _, _, err := mediator.Open([16]byte{}, 1, 1, []byte("short")); err == nil {
 		t.Fatal("truncated sealed block accepted")
 	}
 }
 
 // mediated test fixture: object content and oracle.
-func fixture(t *testing.T) (tr *transport.Mem, med *Mediator, obj catalog.ObjectID, blocks [][]byte) {
+func fixture(t *testing.T) (tr *transport.Mem, med *mediator.Mediator, obj catalog.ObjectID, blocks [][]byte) {
 	t.Helper()
 	tr = transport.NewMem()
 	obj = catalog.ObjectID(42)
@@ -83,7 +105,7 @@ func fixture(t *testing.T) (tr *transport.Mem, med *Mediator, obj catalog.Object
 		return nil, false
 	}
 	var err error
-	med, err = New(tr, "mem://mediator", oracle)
+	med, err = mediator.New(tr, "mem://mediator", oracle)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +113,22 @@ func fixture(t *testing.T) (tr *transport.Mem, med *Mediator, obj catalog.Object
 	return tr, med, obj, blocks
 }
 
+// client builds a medclient bootstrapped at the fixture mediator.
+func client(t *testing.T, tr transport.Transport) *medclient.Client {
+	t.Helper()
+	c, err := medclient.New(medclient.Config{Transport: tr, Seeds: []string{"mem://mediator"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
 func sealAll(t *testing.T, key [16]byte, origin, recipient core.PeerID, obj catalog.ObjectID, blocks [][]byte) []protocol.Block {
 	t.Helper()
 	out := make([]protocol.Block, len(blocks))
 	for i, b := range blocks {
-		sealed, err := Seal(key, origin, recipient, obj, uint32(i), b)
+		sealed, err := mediator.Seal(key, origin, recipient, obj, uint32(i), b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,20 +148,12 @@ func TestHonestExchangeReleasesKey(t *testing.T) {
 
 	sealed := sealAll(t, keyA, peerA, peerB, obj, blocks)
 
-	clientA, err := Dial(tr, "mem://mediator")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer clientA.Close()
+	clientA := client(t, tr)
 	if err := clientA.Deposit(100, peerA, obj, keyA); err != nil {
 		t.Fatal(err)
 	}
 
-	clientB, err := Dial(tr, "mem://mediator")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer clientB.Close()
+	clientB := client(t, tr)
 	key, err := clientB.Verify(100, peerB, peerA, obj, sealed[:2])
 	if err != nil {
 		t.Fatalf("verify: %v", err)
@@ -138,7 +163,7 @@ func TestHonestExchangeReleasesKey(t *testing.T) {
 	}
 	// B can now decrypt everything.
 	for i, sb := range sealed {
-		_, _, payload, err := Open(key, obj, sb.Index, sb.Payload)
+		_, _, payload, err := mediator.Open(key, obj, sb.Index, sb.Payload)
 		if err != nil {
 			t.Fatalf("decrypt block %d: %v", i, err)
 		}
@@ -164,11 +189,7 @@ func TestMiddlemanCaught(t *testing.T) {
 
 	// Both keys are escrowed for exchange 200: A's honestly, M's as the
 	// claimed sender of the relayed blocks.
-	depositor, err := Dial(tr, "mem://mediator")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer depositor.Close()
+	depositor := client(t, tr)
 	if err := depositor.Deposit(200, peerA, obj, keyA); err != nil {
 		t.Fatal(err)
 	}
@@ -178,13 +199,9 @@ func TestMiddlemanCaught(t *testing.T) {
 
 	// M relays A's sealed blocks to C unchanged (it cannot re-author the
 	// encrypted headers). C verifies, claiming sender M.
-	clientC, err := Dial(tr, "mem://mediator")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer clientC.Close()
-	_, err = clientC.Verify(200, peerC, peerM, obj, sealedByA[:2])
-	if !errors.Is(err, ErrRejected) {
+	clientC := client(t, tr)
+	_, err := clientC.Verify(200, peerC, peerM, obj, sealedByA[:2])
+	if !errors.Is(err, medclient.ErrRejected) {
 		t.Fatalf("middleman relay passed the audit: %v", err)
 	}
 	if med.Flagged(peerM) == 0 {
@@ -203,16 +220,12 @@ func TestMisaddressedBlocksRejected(t *testing.T) {
 	copy(keyA[:], "key-of-honest-A!")
 	sealedForM := sealAll(t, keyA, peerA, peerM, obj, blocks)
 
-	client, err := Dial(tr, "mem://mediator")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer client.Close()
-	if err := client.Deposit(300, peerA, obj, keyA); err != nil {
+	cl := client(t, tr)
+	if err := cl.Deposit(300, peerA, obj, keyA); err != nil {
 		t.Fatal(err)
 	}
 	// C claims it received these blocks from A directly.
-	if _, err := client.Verify(300, peerC, peerA, obj, sealedForM[:1]); !errors.Is(err, ErrRejected) {
+	if _, err := cl.Verify(300, peerC, peerA, obj, sealedForM[:1]); !errors.Is(err, medclient.ErrRejected) {
 		t.Fatalf("misaddressed blocks passed the audit: %v", err)
 	}
 }
@@ -227,15 +240,11 @@ func TestJunkContentRejected(t *testing.T) {
 	junk := [][]byte{[]byte("garbage-0"), []byte("garbage-1")}
 	sealed := sealAll(t, keyA, peerA, peerB, obj, junk)
 
-	client, err := Dial(tr, "mem://mediator")
-	if err != nil {
+	cl := client(t, tr)
+	if err := cl.Deposit(400, peerA, obj, keyA); err != nil {
 		t.Fatal(err)
 	}
-	defer client.Close()
-	if err := client.Deposit(400, peerA, obj, keyA); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := client.Verify(400, peerB, peerA, obj, sealed); !errors.Is(err, ErrRejected) {
+	if _, err := cl.Verify(400, peerB, peerA, obj, sealed); !errors.Is(err, medclient.ErrRejected) {
 		t.Fatalf("junk content passed the audit: %v", err)
 	}
 	if med.Flagged(peerA) == 0 {
@@ -243,60 +252,210 @@ func TestJunkContentRejected(t *testing.T) {
 	}
 }
 
+// TestVerifyWithoutDeposit: a missing escrow is a transient refusal
+// (ErrNoKey), not an audit verdict, and must not flag the claimed sender —
+// a shard restart that lost its deposits would otherwise brand honest
+// peers.
 func TestVerifyWithoutDeposit(t *testing.T) {
-	tr, _, obj, blocks := fixture(t)
+	tr, med, obj, blocks := fixture(t)
 	var key [16]byte
 	sealed := sealAll(t, key, 1, 2, obj, blocks)
-	client, err := Dial(tr, "mem://mediator")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer client.Close()
-	if _, err := client.Verify(500, 2, 1, obj, sealed[:1]); !errors.Is(err, ErrRejected) {
+	cl := client(t, tr)
+	_, err := cl.Verify(500, 2, 1, obj, sealed[:1])
+	if !errors.Is(err, medclient.ErrNoKey) {
 		t.Fatalf("verify without deposit: %v", err)
+	}
+	if errors.Is(err, medclient.ErrRejected) {
+		t.Fatal("missing key reported as an audit rejection")
+	}
+	if med.Flagged(1) != 0 {
+		t.Fatal("missing deposit flagged the claimed sender")
 	}
 }
 
+// TestVerifyUnknownObject: an oracle miss is the shard's own blind spot —
+// the audit is refused without a verdict, and the claimed sender must not
+// be flagged for it.
 func TestVerifyUnknownObject(t *testing.T) {
-	tr, _, _, _ := fixture(t)
-	client, err := Dial(tr, "mem://mediator")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer client.Close()
+	tr, med, _, _ := fixture(t)
+	cl := client(t, tr)
 	var key [16]byte
-	if err := client.Deposit(600, 1, 999, key); err != nil {
+	if err := cl.Deposit(600, 1, 999, key); err != nil {
 		t.Fatal(err)
 	}
-	sealed, err := Seal(key, 1, 2, 999, 0, []byte("x"))
+	sealed, err := mediator.Seal(key, 1, 2, 999, 0, []byte("x"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	samples := []protocol.Block{{Object: 999, Index: 0, Payload: sealed}}
-	if _, err := client.Verify(600, 2, 1, 999, samples); !errors.Is(err, ErrRejected) {
-		t.Fatalf("unknown object passed: %v", err)
+	if _, err := cl.Verify(600, 2, 1, 999, samples); !errors.Is(err, medclient.ErrBadRequest) {
+		t.Fatalf("unknown object: %v, want ErrBadRequest", err)
+	}
+	if med.Flagged(1) != 0 {
+		t.Fatal("oracle miss flagged the claimed sender")
 	}
 }
 
+// TestVerifyEmptySamples: a sample-free audit is the requester's fault; it
+// must be refused without branding the sender — otherwise anyone could
+// frame an honest peer with an empty request naming it.
 func TestVerifyEmptySamples(t *testing.T) {
-	tr, _, obj, _ := fixture(t)
-	client, err := Dial(tr, "mem://mediator")
+	tr, med, obj, _ := fixture(t)
+	cl := client(t, tr)
+	var key [16]byte
+	if err := cl.Deposit(700, 1, obj, key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Verify(700, 2, 1, obj, nil); !errors.Is(err, medclient.ErrBadRequest) {
+		t.Fatalf("empty samples: %v, want ErrBadRequest", err)
+	}
+	if med.Flagged(1) != 0 {
+		t.Fatal("empty audit flagged the claimed sender")
+	}
+	// A wrong-object sample is equally the requester's fault.
+	sealed, err := mediator.Seal(key, 1, 2, obj, 0, []byte("x"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer client.Close()
-	var key [16]byte
-	if err := client.Deposit(700, 1, obj, key); err != nil {
+	wrong := []protocol.Block{{Object: obj + 1, Index: 0, Payload: sealed}}
+	if _, err := cl.Verify(700, 2, 1, obj, wrong); !errors.Is(err, medclient.ErrBadRequest) {
+		t.Fatalf("wrong-object sample: %v, want ErrBadRequest", err)
+	}
+	if med.Flagged(1) != 0 {
+		t.Fatal("wrong-object sample flagged the claimed sender")
+	}
+}
+
+// TestVerifyOversizedRejected pins the serve read-path limits: an audit
+// claiming more samples than MaxVerifySamples is refused without a verdict
+// and without any per-sample work — the in-memory transport carries message
+// pointers, so the wire codec's caps never ran and the mediator must
+// enforce its own.
+func TestVerifyOversizedRejected(t *testing.T) {
+	tr, med, obj, _ := fixture(t)
+	conn, err := tr.Dial("mem://mediator")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Verify(700, 2, 1, obj, nil); !errors.Is(err, ErrRejected) {
-		t.Fatalf("empty samples passed: %v", err)
+	defer conn.Close()
+	samples := make([]protocol.Block, mediator.MaxVerifySamples+1)
+	for i := range samples {
+		samples[i] = protocol.Block{Object: obj, Index: uint32(i), Payload: []byte("x")}
+	}
+	if err := conn.Send(&protocol.MedVerify{ExchangeID: 800, Requester: 2, Sender: 1, Object: obj, Samples: samples}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rej, ok := msg.(*protocol.MedReject)
+	if !ok || rej.Code != protocol.MedRejectOversize {
+		t.Fatalf("oversized verify answered with %T %+v", msg, msg)
+	}
+	if med.Flagged(1) != 0 {
+		t.Fatal("oversized request flagged the claimed sender")
+	}
+	// The abusive connection is dropped...
+	if _, err := conn.Recv(); err == nil {
+		t.Fatal("connection survived an oversized audit")
+	}
+	// ...but the mediator keeps serving everyone else.
+	cl := client(t, tr)
+	if err := cl.Deposit(801, 1, obj, [16]byte{1}); err != nil {
+		t.Fatalf("mediator unserviceable after oversized audit: %v", err)
+	}
+}
+
+// TestVerifyOversizedPayloadRejected covers the byte-volume limit with a
+// sample count under the cap.
+func TestVerifyOversizedPayloadRejected(t *testing.T) {
+	tr, _, obj, _ := fixture(t)
+	conn, err := tr.Dial("mem://mediator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	big := make([]byte, mediator.MaxVerifyBytes/2+1)
+	samples := []protocol.Block{
+		{Object: obj, Index: 0, Payload: big},
+		{Object: obj, Index: 1, Payload: big},
+	}
+	if err := conn.Send(&protocol.MedVerify{ExchangeID: 810, Requester: 2, Sender: 1, Object: obj, Samples: samples}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej, ok := msg.(*protocol.MedReject); !ok || rej.Code != protocol.MedRejectOversize {
+		t.Fatalf("oversized payload answered with %T %+v", msg, msg)
+	}
+}
+
+// TestServeRejectsPathologicalFrame is the regression test for the TCP read
+// path: a raw connection claiming a multi-gigabyte frame must be dropped by
+// the codec's frame cap before any allocation, and the mediator must keep
+// serving other clients.
+func TestServeRejectsPathologicalFrame(t *testing.T) {
+	obj := catalog.ObjectID(42)
+	digest := sha256.Sum256([]byte("block"))
+	med, err := mediator.New(transport.TCP{}, "127.0.0.1:0", func(o catalog.ObjectID) ([][32]byte, bool) {
+		if o == obj {
+			return [][32]byte{digest}, true
+		}
+		return nil, false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer med.Close()
+
+	raw, err := transport.TCP{}.Dial(med.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Reach under the framing: the transport's Conn is message-oriented, so
+	// speak raw TCP for the pathological prefix.
+	nc, err := rawDial(med.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, byte(protocol.TypeMedVerify)}); err != nil {
+		t.Fatal(err)
+	}
+	// The mediator must close the connection rather than wait for 4 GiB.
+	if err := expectClosed(nc, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// A well-formed client still gets service.
+	cl, err := medclient.New(medclient.Config{Transport: transport.TCP{}, Seeds: []string{med.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Deposit(900, 1, obj, [16]byte{7}); err != nil {
+		t.Fatalf("mediator unserviceable after pathological frame: %v", err)
 	}
 }
 
 func TestMediatorRequiresOracle(t *testing.T) {
-	if _, err := New(transport.NewMem(), "mem://m", nil); err == nil {
+	if _, err := mediator.New(transport.NewMem(), "mem://m", nil); err == nil {
 		t.Fatal("mediator without oracle accepted")
+	}
+}
+
+func TestShardOptsValidated(t *testing.T) {
+	oracle := func(catalog.ObjectID) ([][32]byte, bool) { return nil, false }
+	tr := transport.NewMem()
+	if _, err := mediator.NewShard(tr, "mem://s", oracle, mediator.ShardOpts{Index: 3, Count: 2, Map: func() (uint64, []string) { return 1, nil }}); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	if _, err := mediator.NewShard(tr, "mem://s", oracle, mediator.ShardOpts{Index: 0, Count: 2}); err == nil {
+		t.Fatal("sharded mediator without a topology map accepted")
 	}
 }
 
@@ -311,17 +470,13 @@ func TestMediatorCloseIdempotent(t *testing.T) {
 // goroutine in Recv forever, so Close's wg.Wait never returned.
 func TestMediatorCloseWithIdleClient(t *testing.T) {
 	tr, med, _, _ := fixture(t)
-	idle, err := Dial(tr, "mem://mediator")
+	idle, err := tr.Dial("mem://mediator")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer idle.Close()
 	// Let the mediator accept the connection and park in Recv.
-	probe, err := Dial(tr, "mem://mediator")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer probe.Close()
+	probe := client(t, tr)
 	if err := probe.Deposit(1, 1, 42, [16]byte{1}); err != nil {
 		t.Fatal(err)
 	}
@@ -345,36 +500,40 @@ func TestMediatorManyConcurrentClients(t *testing.T) {
 	tr, med, obj, blocks := fixture(t)
 	const clients = 40
 	var wg sync.WaitGroup
-	idle := make([]*Client, 0, clients/2)
+	idle := make([]transport.Conn, 0, clients/2)
 	var idleMu sync.Mutex
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := Dial(tr, "mem://mediator")
-			if err != nil {
-				t.Errorf("client %d: %v", i, err)
-				return
-			}
 			var key [16]byte
 			key[0] = byte(i + 1)
 			ex := uint64(1000 + i)
 			sender := core.PeerID(i + 1)
-			if err := c.Deposit(ex, sender, obj, key); err != nil {
-				t.Errorf("client %d deposit: %v", i, err)
-				c.Close()
-				return
-			}
 			if i%2 == 0 {
+				c, err := medclient.New(medclient.Config{Transport: tr, Seeds: []string{"mem://mediator"}})
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				defer c.Close()
+				if err := c.Deposit(ex, sender, obj, key); err != nil {
+					t.Errorf("client %d deposit: %v", i, err)
+					return
+				}
 				sealed := sealAll(t, key, sender, sender+1, obj, blocks)
 				if _, err := c.Verify(ex, sender+1, sender, obj, sealed[:1]); err != nil {
 					t.Errorf("client %d verify: %v", i, err)
 				}
-				c.Close()
+				return
+			}
+			conn, err := tr.Dial("mem://mediator")
+			if err != nil {
+				t.Errorf("client %d dial: %v", i, err)
 				return
 			}
 			idleMu.Lock()
-			idle = append(idle, c) // stays connected, never speaks again
+			idle = append(idle, conn) // stays connected, never speaks
 			idleMu.Unlock()
 		}(i)
 	}

@@ -187,10 +187,9 @@ func (n *Node) onManifest(from core.PeerID, m *protocol.Manifest) {
 	if dl == nil || dl.completed {
 		return
 	}
-	dl.senders[from] = true
-	if dl.blocks != nil {
-		return // already allocated
-	}
+	// Validate the manifest before any state changes: a garbage manifest
+	// must not win the mediated sender lock (cancelling every honest
+	// provider) or register its sender.
 	if m.Blocks == 0 || int(m.Blocks) != len(m.Digests) {
 		return // malformed
 	}
@@ -204,6 +203,29 @@ func (n *Node) onManifest(from core.PeerID, m *protocol.Manifest) {
 			digs = trusted
 		}
 	}
+	if n.mediated() {
+		if dl.verifying {
+			return // an audit is in flight; nothing may move underneath it
+		}
+		if !n.lockMediatedSender(dl, from, m.Object) {
+			return
+		}
+		if dl.blocks != nil && m.Session != dl.session {
+			// The locked sender opened a new session: its old one is dead
+			// (a sender only restarts after the previous session ended) and
+			// blocks sealed under the dead session's key can never be
+			// verified. Start the transfer over on the new session.
+			dl.blocks = nil
+			dl.have = 0
+			dl.total = 0
+			dl.lastHave = 0
+		}
+		dl.session = m.Session
+	}
+	dl.senders[from] = true
+	if dl.blocks != nil {
+		return // already allocated
+	}
 	dl.blocks = make([][]byte, m.Blocks)
 	dl.digests = digs
 	dl.total = int(m.Blocks)
@@ -211,13 +233,27 @@ func (n *Node) onManifest(from core.PeerID, m *protocol.Manifest) {
 
 func (n *Node) onBlock(from core.PeerID, b *protocol.Block) {
 	dl := n.downloads[b.Object]
-	if dl == nil || dl.completed || dl.blocks == nil {
+	if dl == nil || dl.completed || dl.blocks == nil || dl.verifying {
 		return
 	}
 	if int(b.Index) >= dl.total {
 		return
 	}
 	pc := n.conns[from]
+	if b.Encrypted || n.mediated() {
+		// Sealed blocks are positionally accepted and validated after the
+		// audit; plaintext blocks inside a mediated deployment (or sealed
+		// ones outside it) are a protocol mismatch and are refused.
+		if b.Encrypted && n.mediated() {
+			n.onSealedBlock(dl, from, b)
+			return
+		}
+		n.stats.BlocksRejected++
+		if pc != nil {
+			pc.send(&protocol.BlockAck{Object: b.Object, Index: b.Index, Session: b.Session, OK: false})
+		}
+		return
+	}
 	if sha256.Sum256(b.Payload) != dl.digests[b.Index] {
 		// Junk block (even a duplicate): reject it and stop trusting the
 		// sender (local blacklisting, Section III-B).
@@ -409,9 +445,24 @@ func (n *Node) startUpload(to core.PeerID, obj catalog.ObjectID, ringID uint64, 
 		return false
 	}
 	u := &upload{to: to, object: obj, ringID: ringID, total: total}
+	if n.mediated() {
+		// Escrow a fresh session key first; blocks follow once the
+		// mediator acknowledges the deposit.
+		sealKey, session, ok := medSealKey()
+		if !ok {
+			return false
+		}
+		u.mediated = true
+		u.sealKey = sealKey
+		u.session = session
+	}
 	n.uploads[upKey{to: to, object: obj}] = u
-	pc.send(&protocol.Manifest{Object: obj, Size: uint64(len(data)), Blocks: total, Digests: digs})
-	n.sendNextBlock(u, pc)
+	pc.send(&protocol.Manifest{Object: obj, Size: uint64(len(data)), Blocks: total, Session: u.session, Digests: digs})
+	if u.mediated {
+		n.startEscrow(u)
+	} else {
+		n.sendNextBlock(u, pc)
+	}
 	if ringID == 0 {
 		n.stats.RequestsServed++
 	}
@@ -433,12 +484,24 @@ func (n *Node) sendNextBlock(u *upload, pc *peerConn) {
 		}
 		payload = junk
 	}
+	encrypted := false
+	if u.mediated {
+		sealed, ok := n.sealPayload(u, payload)
+		if !ok {
+			delete(n.uploads, upKey{to: u.to, object: u.object})
+			n.trySchedule()
+			return
+		}
+		payload, encrypted = sealed, true
+	}
 	pc.send(&protocol.Block{
 		Object:    u.object,
 		Index:     u.next,
 		RingID:    u.ringID,
+		Session:   u.session,
 		Origin:    n.cfg.ID,
 		Recipient: u.to,
+		Encrypted: encrypted,
 		Payload:   payload,
 	})
 	u.inFlight = true
@@ -453,6 +516,9 @@ func (n *Node) onBlockAck(from core.PeerID, a *protocol.BlockAck) {
 	u, ok := n.uploads[key]
 	if !ok || a.Index != u.next {
 		return
+	}
+	if u.mediated && a.Session != u.session {
+		return // addressed to a dead session of ours; never advance on it
 	}
 	u.inFlight = false
 	if !a.OK {
@@ -733,7 +799,9 @@ func (n *Node) onTick() {
 	// preempted us for an exchange, or vanished); after MaxRetries rounds
 	// with zero progress the download fails.
 	for _, dl := range n.downloads {
-		if dl.completed {
+		if dl.completed || dl.verifying {
+			// An in-flight audit is progress; its own bounded retries and
+			// failover decide the outcome, not the stall counter.
 			continue
 		}
 		if dl.have == dl.lastHave {
@@ -753,6 +821,12 @@ func (n *Node) onTick() {
 				dl.waiters = nil
 				delete(n.downloads, dl.object)
 				continue
+			}
+			if n.mediated() && dl.lockedSender != 0 {
+				// The locked sender went quiet (died, or withdrew); its
+				// partial sealed blocks are unverifiable without it, so
+				// start over and let the manifest race pick a live sender.
+				n.resetMediatedDownload(dl)
 			}
 			n.sendRequests(dl)
 		}

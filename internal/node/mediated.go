@@ -1,0 +1,303 @@
+package node
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+	"barter/internal/medclient"
+	"barter/internal/mediator"
+	"barter/internal/protocol"
+)
+
+// The mediated exchange of Section III-B, run natively on the block path
+// when Config.Mediator is set. Everything here runs on the node's event
+// loop except the escrow and audit RPCs, which block on the mediator tier
+// and therefore run on their own goroutines, posting their results back.
+//
+// Sender side: every upload session draws a fresh random key and session
+// id, escrows the key with the owning mediator shard before the first
+// block, and seals each block — payload plus the origin/recipient control
+// header — under it. Receiver side: a mediated download sticks to the one
+// sender that won the manifest race (the audit is per-sender) and to that
+// sender's current session (blocks of a dead session were sealed under a
+// key the audit will never release), acknowledges sealed blocks it cannot
+// yet validate, and on completion submits randomly chosen sample blocks
+// for audit. A released key decrypts everything and the plaintext is
+// digest-checked block by block; an audit rejection proves the sender
+// cheated — the tier has flagged it — and the receiver discards the junk
+// and re-requests from its remaining providers.
+
+// medAuditSamples is how many sealed blocks a receiver submits per audit.
+const medAuditSamples = 3
+
+func (n *Node) mediated() bool { return n.cfg.Mediator != nil }
+
+// medExchangeID derives the escrow identifier both sides of a transfer
+// agree on without negotiation: a hash of (sender, recipient, object).
+// Scoping it to the recipient keeps concurrent uploads of one object to
+// different peers on distinct escrow entries, so each session can use its
+// own key.
+func medExchangeID(sender, recipient core.PeerID, obj catalog.ObjectID) uint64 {
+	h := uint64(uint32(sender))
+	h = (h ^ uint64(uint32(recipient))*0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+	h = (h ^ uint64(uint32(obj))*0x94d049bb133111eb) ^ h>>29
+	return h
+}
+
+// medSealKey draws a fresh random key and session id for one upload
+// session. The key is secret to the sender until the mediator releases it:
+// receivers earn it by passing the audit, never by computing it. (A
+// derivable key would let any peer decrypt without auditing — and forge
+// evidence against others.) The session id travels in the clear on every
+// manifest, block, and ack, so neither side ever mixes traffic from a
+// sender's dead session into a live one.
+func medSealKey() (key [16]byte, session uint64, ok bool) {
+	var buf [24]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return key, 0, false
+	}
+	copy(key[:], buf[:16])
+	session = binary.BigEndian.Uint64(buf[16:])
+	if session == 0 {
+		session = 1 // zero marks unmediated traffic
+	}
+	return key, session, true
+}
+
+// startEscrow runs the sender's deposit off-loop and releases the first
+// block once the mediator acknowledged the escrow. Until then the upload
+// exists but sends nothing; a failed deposit drops the session (the
+// requester's entry stays queued, so a later schedule retries).
+func (n *Node) startEscrow(u *upload) {
+	key := upKey{to: u.to, object: u.object}
+	exchange := medExchangeID(n.cfg.ID, u.to, u.object)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		err := n.cfg.Mediator.Deposit(exchange, n.cfg.ID, u.object, u.sealKey)
+		n.post(func() {
+			cur, ok := n.uploads[key]
+			if !ok || cur != u {
+				return // session ended while the deposit was in flight
+			}
+			if err != nil {
+				n.logf("escrow for object %d failed: %v", u.object, err)
+				delete(n.uploads, key)
+				n.trySchedule()
+				return
+			}
+			if u.inFlight || u.next != 0 {
+				return // a block is already on the wire somehow; never double-send
+			}
+			if pc, ok := n.conns[u.to]; ok {
+				n.sendNextBlock(u, pc)
+			}
+		})
+	}()
+}
+
+// sealPayload wraps one outgoing block for a mediated upload.
+func (n *Node) sealPayload(u *upload, payload []byte) ([]byte, bool) {
+	sealed, err := mediator.Seal(u.sealKey, n.cfg.ID, u.to, u.object, u.next, payload)
+	if err != nil {
+		n.logf("seal block %d of %d: %v", u.next, u.object, err)
+		return nil, false
+	}
+	return sealed, true
+}
+
+// lockMediatedSender pins a download to the sender whose manifest arrived
+// first and withdraws the request from everyone else. It reports whether
+// the manifest should be processed further.
+func (n *Node) lockMediatedSender(dl *download, from core.PeerID, obj catalog.ObjectID) bool {
+	if dl.lockedSender == from {
+		return true
+	}
+	if dl.lockedSender != 0 {
+		return false // someone else already carries this transfer
+	}
+	dl.lockedSender = from
+	for p := range dl.providers {
+		if p == from {
+			continue
+		}
+		if pc, ok := n.conns[p]; ok {
+			pc.send(&protocol.Cancel{Object: obj})
+		}
+	}
+	return true
+}
+
+// onSealedBlock stores one encrypted block of a mediated transfer; content
+// cannot be validated until the audit releases the key, so acceptance is
+// positional only — but strictly scoped to the locked sender's current
+// session, because blocks of a dead session were sealed under a key the
+// audit will never release.
+func (n *Node) onSealedBlock(dl *download, from core.PeerID, b *protocol.Block) {
+	pc := n.conns[from]
+	if !n.mediated() || from != dl.lockedSender || b.Session != dl.session {
+		n.stats.BlocksRejected++
+		if pc != nil {
+			pc.send(&protocol.BlockAck{Object: b.Object, Index: b.Index, Session: b.Session, OK: false})
+		}
+		return
+	}
+	if dl.blocks[b.Index] == nil {
+		dl.blocks[b.Index] = append([]byte(nil), b.Payload...)
+		dl.have++
+		n.stats.BlocksReceived++
+	}
+	dl.senders[from] = true
+	if pc != nil {
+		pc.send(&protocol.BlockAck{Object: b.Object, Index: b.Index, Session: b.Session, OK: true})
+	}
+	if dl.have == dl.total {
+		n.startMediatedVerify(dl)
+	}
+}
+
+// startMediatedVerify submits sample blocks for audit off-loop.
+func (n *Node) startMediatedVerify(dl *download) {
+	if dl.verifying {
+		return
+	}
+	dl.verifying = true
+	n.stats.MedVerifies++
+	sender, obj := dl.lockedSender, dl.object
+	// Sample positions must be unpredictable: a cheater who can guess
+	// them serves honest bytes exactly there and junk everywhere else,
+	// passing every audit. (The post-decrypt digest check still covers
+	// all blocks, but its digests come from the sender's manifest unless
+	// TrustedDigests is set — the random audit is the tier-level defense.)
+	count := min(medAuditSamples, dl.total, mediator.MaxVerifySamples)
+	samples := make([]protocol.Block, 0, count)
+	budget := mediator.MaxVerifyBytes
+	for _, idx := range randomSampleIndices(dl.total, count) {
+		if len(samples) > 0 && budget < len(dl.blocks[idx]) {
+			break // stay under the mediator's audit limits
+		}
+		budget -= len(dl.blocks[idx])
+		samples = append(samples, protocol.Block{
+			Object:    obj,
+			Index:     uint32(idx),
+			Origin:    sender,
+			Recipient: n.cfg.ID,
+			Encrypted: true,
+			Payload:   dl.blocks[idx],
+		})
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		key, err := n.cfg.Mediator.Verify(medExchangeID(sender, n.cfg.ID, obj), n.cfg.ID, sender, obj, samples)
+		n.post(func() { n.finishMediatedVerify(dl, sender, key, err) })
+	}()
+}
+
+// randomSampleIndices draws count distinct indices in [0, total) from the
+// system entropy source; on the (practically impossible) failure of that
+// source it falls back to the first count indices rather than not auditing
+// at all.
+func randomSampleIndices(total, count int) []int {
+	out := make([]int, 0, count)
+	seen := make(map[int]bool, count)
+	var buf [8]byte
+	for len(out) < count {
+		if _, err := rand.Read(buf[:]); err != nil {
+			for i := 0; len(out) < count; i++ {
+				if !seen[i] {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		idx := int(binary.BigEndian.Uint64(buf[:]) % uint64(total))
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// finishMediatedVerify applies the audit verdict back on the event loop.
+func (n *Node) finishMediatedVerify(dl *download, sender core.PeerID, key [16]byte, err error) {
+	if cur, ok := n.downloads[dl.object]; !ok || cur != dl || dl.completed {
+		return
+	}
+	dl.verifying = false
+	if err != nil {
+		switch {
+		case errors.Is(err, medclient.ErrRejected):
+			// The tier proved the sender cheated and flagged it; drop the
+			// junk and the provider, then re-request from whoever is left.
+			n.logf("audit of %d for object %d rejected: %v", sender, dl.object, err)
+			n.stats.MedRejects++
+			delete(dl.providers, sender)
+			delete(dl.senders, sender)
+		case errors.Is(err, medclient.ErrBadRequest):
+			// The mediator will never judge this audit — the object is
+			// outside its registry, or the request exceeds limits no retry
+			// changes. Re-transferring would livelock; fail the download.
+			n.logf("audit for object %d unjudgeable: %v", dl.object, err)
+			for _, ch := range dl.waiters {
+				ch <- fmt.Errorf("%w: object %d: mediated audit refused: %v", ErrNoSource, dl.object, err)
+			}
+			dl.waiters = nil
+			n.resetMediatedDownload(dl)
+			delete(n.downloads, dl.object)
+			return
+		default:
+			// Transient: the escrow is missing (shard restarted) or the
+			// tier was unreachable. Keep the provider — a fresh session
+			// deposits a fresh escrow.
+			n.logf("audit for object %d inconclusive: %v", dl.object, err)
+		}
+		n.resetMediatedDownload(dl)
+		n.sendRequests(dl)
+		return
+	}
+	for i := range dl.blocks {
+		origin, recipient, plain, oerr := mediator.Open(key, dl.object, uint32(i), dl.blocks[i])
+		if oerr != nil || origin != sender || recipient != n.cfg.ID || sha256.Sum256(plain) != dl.digests[i] {
+			// The sampled audit passed but the full transfer does not
+			// decrypt clean: treat the sender as a cheater locally.
+			n.logf("post-audit validation of block %d from %d failed", i, sender)
+			n.stats.MedRejects++
+			delete(dl.providers, sender)
+			delete(dl.senders, sender)
+			n.resetMediatedDownload(dl)
+			n.sendRequests(dl)
+			return
+		}
+		dl.blocks[i] = plain
+	}
+	n.finishDownload(dl)
+}
+
+// resetMediatedDownload discards a mediated transfer's sealed state so the
+// download can start over with another (or the same) sender. The locked
+// sender gets a Cancel: if its session half-survived (a block in flight we
+// will never ack), the cancel tears it down so a re-request starts a fresh
+// session instead of wedging against the stale one.
+func (n *Node) resetMediatedDownload(dl *download) {
+	if dl.lockedSender != 0 {
+		if pc, ok := n.conns[dl.lockedSender]; ok {
+			pc.send(&protocol.Cancel{Object: dl.object})
+		}
+	}
+	dl.blocks = nil
+	dl.digests = nil
+	dl.have = 0
+	dl.total = 0
+	dl.lastHave = 0
+	dl.stalled = 0
+	dl.lockedSender = 0
+	dl.session = 0
+	dl.verifying = false
+}

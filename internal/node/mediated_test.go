@@ -1,0 +1,193 @@
+package node
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"testing"
+	"time"
+
+	"barter/internal/catalog"
+	"barter/internal/core"
+	"barter/internal/medclient"
+	"barter/internal/mediator"
+)
+
+// medNet extends testNet with a mediator tier: every spawned node gets its
+// own shard-aware client, as live deployments would.
+type medNet struct {
+	*testNet
+	cluster *mediator.Cluster
+	clients []*medclient.Client
+}
+
+// newMedNet builds a testNet plus an n-shard mediator cluster whose oracle
+// digests the canonical payload() content for objects 1..32 at the test
+// block size.
+func newMedNet(t *testing.T, shards, objSize int) *medNet {
+	t.Helper()
+	tn := newTestNet(t)
+	oracle := func(o catalog.ObjectID) ([][32]byte, bool) {
+		if o < 1 || o > 32 {
+			return nil, false
+		}
+		data := payload(o, objSize)
+		var digs [][32]byte
+		for off := 0; off < len(data); off += 1024 {
+			end := min(off+1024, len(data))
+			digs = append(digs, sha256.Sum256(data[off:end]))
+		}
+		return digs, true
+	}
+	addrs := make([]string, shards)
+	for i := range addrs {
+		addrs[i] = "mem://med-" + string(rune('0'+i))
+	}
+	cluster, err := mediator.NewCluster(tn.tr, addrs, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	return &medNet{testNet: tn, cluster: cluster}
+}
+
+// spawnMediated starts a node wired to the mediator tier.
+func (mn *medNet) spawnMediated(id core.PeerID, mutate func(*Config)) *Node {
+	mn.t.Helper()
+	mc, err := medclient.New(medclient.Config{
+		Transport: mn.tr,
+		Seeds:     mn.cluster.Addrs(),
+		Backoff:   5 * time.Millisecond,
+	})
+	if err != nil {
+		mn.t.Fatal(err)
+	}
+	n := mn.spawn(id, func(cfg *Config) {
+		cfg.Mediator = mc
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+	// The node must be closed before its client; testNet's cleanup closes
+	// the node, and cleanups run LIFO, so register the client after.
+	mn.t.Cleanup(mc.Close)
+	mn.clients = append(mn.clients, mc)
+	return n
+}
+
+// TestMediatedTransferCompletes is the happy path: blocks travel sealed,
+// the receiver audits, decrypts, and lands the exact bytes.
+func TestMediatedTransferCompletes(t *testing.T) {
+	const size = 8 * 1024
+	mn := newMedNet(t, 1, size)
+	server := mn.spawnMediated(1, nil)
+	clientN := mn.spawnMediated(2, nil)
+	obj := catalog.ObjectID(5)
+	data := payload(obj, size)
+	server.AddObject(obj, data)
+
+	ch := clientN.Download(obj, map[core.PeerID]string{1: server.Addr()})
+	if err := WaitFor(ch, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if got := clientN.Object(obj); !bytes.Equal(got, data) {
+		t.Fatalf("downloaded %d bytes, content mismatch", len(got))
+	}
+	st := clientN.Stats()
+	if st.MedVerifies == 0 {
+		t.Fatal("no audit was submitted for a mediated transfer")
+	}
+	if st.MedRejects != 0 {
+		t.Fatalf("honest transfer produced %d rejects", st.MedRejects)
+	}
+}
+
+// TestMediatedCheaterFlagged: with only a corrupt provider, the transfer
+// completes in sealed form, the audit rejects it, the tier flags the
+// cheater, and the download fails for want of honest sources.
+func TestMediatedCheaterFlagged(t *testing.T) {
+	const size = 4 * 1024
+	mn := newMedNet(t, 2, size)
+	cheater := mn.spawnMediated(1, func(cfg *Config) { cfg.Corrupt = true })
+	victim := mn.spawnMediated(2, func(cfg *Config) {
+		cfg.StallTicks = 5
+		cfg.MaxRetries = 2
+	})
+	obj := catalog.ObjectID(3)
+	cheater.AddObject(obj, payload(obj, size))
+
+	ch := victim.Download(obj, map[core.PeerID]string{1: cheater.Addr()})
+	err := WaitFor(ch, testTimeout)
+	if !errors.Is(err, ErrNoSource) {
+		t.Fatalf("download from a lone cheater: %v, want ErrNoSource", err)
+	}
+	if mn.cluster.Flagged(1) == 0 {
+		t.Fatal("mediator tier never flagged the cheater")
+	}
+	st := victim.Stats()
+	if st.MedRejects == 0 {
+		t.Fatal("victim recorded no audit rejection")
+	}
+	if victim.Has(obj) {
+		t.Fatal("junk object landed in the store")
+	}
+}
+
+// TestMediatedRecoversFromCheater: a corrupt and an honest provider; even
+// if the cheater wins the manifest race, the audit rejection re-requests
+// and the honest source completes the download.
+func TestMediatedRecoversFromCheater(t *testing.T) {
+	const size = 4 * 1024
+	mn := newMedNet(t, 2, size)
+	cheater := mn.spawnMediated(1, func(cfg *Config) { cfg.Corrupt = true })
+	honest := mn.spawnMediated(2, nil)
+	victim := mn.spawnMediated(3, func(cfg *Config) { cfg.StallTicks = 5 })
+	obj := catalog.ObjectID(7)
+	data := payload(obj, size)
+	cheater.AddObject(obj, data)
+	honest.AddObject(obj, data)
+
+	ch := victim.Download(obj, map[core.PeerID]string{
+		1: cheater.Addr(),
+		2: honest.Addr(),
+	})
+	if err := WaitFor(ch, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if got := victim.Object(obj); !bytes.Equal(got, data) {
+		t.Fatal("content mismatch after recovering from the cheater")
+	}
+}
+
+// TestMediatedRidesThroughShardRestart restarts every mediator shard while
+// transfers are in flight: escrows are lost, audits come back keyless, and
+// the node-side client plus session retry must still converge on a clean
+// download without anyone being flagged.
+func TestMediatedRidesThroughShardRestart(t *testing.T) {
+	const size = 16 * 1024
+	mn := newMedNet(t, 2, size)
+	server := mn.spawnMediated(1, func(cfg *Config) {
+		cfg.BlockDelay = 2 * time.Millisecond // stretch the transfer window
+	})
+	clientN := mn.spawnMediated(2, func(cfg *Config) { cfg.StallTicks = 8 })
+	obj := catalog.ObjectID(9)
+	data := payload(obj, size)
+	server.AddObject(obj, data)
+
+	ch := clientN.Download(obj, map[core.PeerID]string{1: server.Addr()})
+	time.Sleep(10 * time.Millisecond) // let the transfer get going
+	for i := 0; i < mn.cluster.Shards(); i++ {
+		if err := mn.cluster.RestartShard(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WaitFor(ch, testTimeout); err != nil {
+		t.Fatalf("download did not survive the shard restarts: %v", err)
+	}
+	if got := clientN.Object(obj); !bytes.Equal(got, data) {
+		t.Fatal("content mismatch after shard restarts")
+	}
+	if mn.cluster.Flagged(1) != 0 {
+		t.Fatal("honest sender was flagged after escrow loss")
+	}
+}

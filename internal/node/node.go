@@ -20,6 +20,7 @@ import (
 
 	"barter/internal/catalog"
 	"barter/internal/core"
+	"barter/internal/medclient"
 	"barter/internal/protocol"
 	"barter/internal/transport"
 )
@@ -78,6 +79,14 @@ type Config struct {
 	// validation source ("a trustworthy source of information for the
 	// actual valid checksums", Section III-B).
 	TrustedDigests func(catalog.ObjectID) ([][32]byte, bool)
+	// Mediator, when set, runs Section III-B's mediated exchange natively
+	// on the block path: uploads are sealed under a per-exchange key the
+	// sender escrows with the mediator tier (through the shard-aware
+	// client), and a receiver completes a transfer by submitting sample
+	// blocks for audit, obtaining the key, and decrypting — so a cheater
+	// is flagged by the tier, not just locally blacklisted. The client is
+	// shared infrastructure owned by the caller; Close it after the node.
+	Mediator *medclient.Client
 	// Corrupt makes this node a cheater that serves junk payloads. Used by
 	// tests and the middleman example to exercise the defenses.
 	Corrupt bool
@@ -135,6 +144,10 @@ type Stats struct {
 	ObjectsCompleted   int
 	RequestsServed     int
 	SendOverflows      int
+	// MedVerifies counts audits this node submitted to the mediator tier;
+	// MedRejects counts those that came back as cheating verdicts.
+	MedVerifies int
+	MedRejects  int
 }
 
 // Node is a live peer. Create with New, stop with Close.
@@ -201,6 +214,14 @@ type download struct {
 	retries   int
 	completed bool
 	senders   map[core.PeerID]bool
+	// Mediated transfers stick to one sender (the audit is per-sender):
+	// lockedSender is who won the manifest race, session is that sender's
+	// current upload session (blocks from other sessions were sealed under
+	// a different key and must never mix in), and verifying marks the
+	// end-of-transfer audit in flight.
+	lockedSender core.PeerID
+	session      uint64
+	verifying    bool
 }
 
 type upload struct {
@@ -210,6 +231,12 @@ type upload struct {
 	next     uint32
 	total    uint32
 	inFlight bool
+	// Mediated uploads seal every block under sealKey and tag traffic with
+	// the session id; blocks wait until the escrow deposit is acknowledged
+	// (startEscrow releases the first block only on the deposit ack).
+	mediated bool
+	sealKey  [16]byte
+	session  uint64
 }
 
 type ringInfo struct {

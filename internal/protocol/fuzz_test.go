@@ -31,15 +31,21 @@ func corpusMessages() []Message {
 		&RingCommit{RingID: 9},
 		&RingAbort{RingID: 9},
 		&RingQuit{RingID: 9},
-		&Manifest{Object: 5, Size: 96, Blocks: 3, Digests: [][32]byte{{1}, {2}, {3}}},
-		&Block{Object: 5, Index: 2, RingID: 9, Origin: 1, Recipient: 2, Encrypted: true, Payload: []byte("payload")},
-		&BlockAck{Object: 5, Index: 2, OK: true},
+		&Manifest{Object: 5, Size: 96, Blocks: 3, Session: 11, Digests: [][32]byte{{1}, {2}, {3}}},
+		&Block{Object: 5, Index: 2, RingID: 9, Session: 11, Origin: 1, Recipient: 2, Encrypted: true, Payload: []byte("payload")},
+		&BlockAck{Object: 5, Index: 2, Session: 11, OK: true},
 		&MedDeposit{ExchangeID: 3, Sender: 1, Object: 5, Key: [16]byte{9}},
 		&MedVerify{ExchangeID: 3, Requester: 2, Sender: 1, Object: 5, Samples: []Block{
 			{Object: 5, Index: 0, Origin: 1, Recipient: 2, Encrypted: true, Payload: []byte("x")},
 		}},
 		&MedKey{ExchangeID: 3, Key: [16]byte{9}},
-		&MedReject{ExchangeID: 3, Reason: "digest mismatch"},
+		&MedReject{ExchangeID: 3, Code: MedRejectNoKey, Reason: "digest mismatch"},
+		&MedShardMapReq{Epoch: 4},
+		&MedShardMap{Version: ShardMapVersion, Epoch: 4, Shards: []MedShardEntry{
+			{Index: 0, Addr: "mem://med-0"},
+			{Index: 1, Addr: "mem://med-1"},
+		}},
+		&MedRedirect{Object: 5, Shard: 1, Addr: "mem://med-1", Epoch: 4},
 	}
 }
 
@@ -138,6 +144,12 @@ func TestDecodeRejectsCountAmplification(t *testing.T) {
 			payload = binary.BigEndian.AppendUint32(payload, 5)
 			payload = binary.BigEndian.AppendUint32(payload, 4096) // sample count
 			return frameFor(TypeMedVerify, payload)
+		}(),
+		"shard map entries": func() []byte {
+			payload := []byte{ShardMapVersion}
+			payload = binary.BigEndian.AppendUint64(payload, 1)
+			payload = binary.BigEndian.AppendUint32(payload, 1<<20) // shard count
+			return frameFor(TypeMedShardMap, payload)
 		}(),
 	}
 	for name, frame := range cases {

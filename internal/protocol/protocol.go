@@ -41,6 +41,9 @@ const (
 	TypeMedVerify
 	TypeMedKey
 	TypeMedReject
+	TypeMedShardMapReq
+	TypeMedShardMap
+	TypeMedRedirect
 )
 
 // Message is one decodable wire message.
@@ -114,20 +117,27 @@ type RingQuit struct {
 
 // Manifest announces an object's block layout and digests so the receiver
 // can validate each block before requesting the next one (Section III-B).
+// Session identifies the transfer session that is sending (mediated
+// transfers seal blocks under a per-session key, so the receiver must
+// never mix blocks across a sender's sessions); zero for unmediated
+// transfers.
 type Manifest struct {
 	Object  catalog.ObjectID
 	Size    uint64
 	Blocks  uint32
+	Session uint64
 	Digests [][32]byte
 }
 
 // Block carries one fixed-size block. RingID 0 marks a non-exchange
 // transfer. Origin and Recipient form the control header of the mediated
-// scheme; they travel encrypted when Encrypted is set.
+// scheme; they travel encrypted when Encrypted is set, in which case
+// Session names the upload session whose key sealed the payload.
 type Block struct {
 	Object    catalog.ObjectID
 	Index     uint32
 	RingID    uint64
+	Session   uint64
 	Origin    core.PeerID
 	Recipient core.PeerID
 	Encrypted bool
@@ -136,10 +146,13 @@ type Block struct {
 
 // BlockAck acknowledges a validated block and grants the sender credit to
 // continue (the synchronous block-for-block window of Section III-B).
+// Session echoes the block's session so a sender never advances a live
+// session on an ack addressed to a dead one.
 type BlockAck struct {
-	Object catalog.ObjectID
-	Index  uint32
-	OK     bool
+	Object  catalog.ObjectID
+	Index   uint32
+	Session uint64
+	OK      bool
 }
 
 // MedDeposit escrows a sender's block-encryption key with the mediator.
@@ -166,10 +179,60 @@ type MedKey struct {
 	Key        [16]byte
 }
 
-// MedReject reports a failed audit.
+// MedReject reason codes. The distinction matters to clients: an audit
+// failure proves the claimed sender cheated, while a missing key is
+// transient (the deposit has not arrived yet, or the owning shard restarted
+// and lost its escrow) and must not be held against anyone.
+const (
+	MedRejectAudit      uint8 = 0 // samples contradict the claim: the sender cheated
+	MedRejectNoKey      uint8 = 1 // no escrowed key for the claimed sender (transient)
+	MedRejectOversize   uint8 = 2 // request exceeded the mediator's audit limits
+	MedRejectBadRequest uint8 = 3 // request malformed (requester's fault; nobody is flagged)
+)
+
+// MedReject reports a refused verification; Code says whether the audit
+// actually failed or the request could not be judged.
 type MedReject struct {
 	ExchangeID uint64
+	Code       uint8
 	Reason     string
+}
+
+// ShardMapVersion is the current wire version of the shard-map scheme;
+// bump on incompatible changes to partitioning or the map layout.
+const ShardMapVersion uint8 = 1
+
+// MedShardMapReq asks any mediator shard for the current cluster topology.
+// Epoch carries the requester's cached topology version (0 for none); the
+// mediator always replies with its full current map.
+type MedShardMapReq struct {
+	Epoch uint64
+}
+
+// MedShardEntry names one shard of the mediator tier.
+type MedShardEntry struct {
+	Index uint32
+	Addr  string
+}
+
+// MedShardMap announces the mediator tier topology: Version is the wire
+// version of the partitioning scheme, Epoch increases whenever the topology
+// changes (a shard restarting under a new address), and Shards lists every
+// member in index order.
+type MedShardMap struct {
+	Version uint8
+	Epoch   uint64
+	Shards  []MedShardEntry
+}
+
+// MedRedirect tells a client its request for Object was misrouted: the
+// shard at Addr owns the object's partition. Epoch lets the client notice
+// its cached map is stale and refetch.
+type MedRedirect struct {
+	Object catalog.ObjectID
+	Shard  uint32
+	Addr   string
+	Epoch  uint64
 }
 
 // Tree is the wire form of a request tree (core.Tree flattened).
@@ -241,24 +304,30 @@ var (
 	_ Message = (*MedVerify)(nil)
 	_ Message = (*MedKey)(nil)
 	_ Message = (*MedReject)(nil)
+	_ Message = (*MedShardMapReq)(nil)
+	_ Message = (*MedShardMap)(nil)
+	_ Message = (*MedRedirect)(nil)
 )
 
 // Type implementations.
-func (*Hello) Type() Type      { return TypeHello }
-func (*Request) Type() Type    { return TypeRequest }
-func (*Cancel) Type() Type     { return TypeCancel }
-func (*RingProbe) Type() Type  { return TypeRingProbe }
-func (*RingAccept) Type() Type { return TypeRingAccept }
-func (*RingCommit) Type() Type { return TypeRingCommit }
-func (*RingAbort) Type() Type  { return TypeRingAbort }
-func (*RingQuit) Type() Type   { return TypeRingQuit }
-func (*Manifest) Type() Type   { return TypeManifest }
-func (*Block) Type() Type      { return TypeBlock }
-func (*BlockAck) Type() Type   { return TypeBlockAck }
-func (*MedDeposit) Type() Type { return TypeMedDeposit }
-func (*MedVerify) Type() Type  { return TypeMedVerify }
-func (*MedKey) Type() Type     { return TypeMedKey }
-func (*MedReject) Type() Type  { return TypeMedReject }
+func (*Hello) Type() Type          { return TypeHello }
+func (*Request) Type() Type        { return TypeRequest }
+func (*Cancel) Type() Type         { return TypeCancel }
+func (*RingProbe) Type() Type      { return TypeRingProbe }
+func (*RingAccept) Type() Type     { return TypeRingAccept }
+func (*RingCommit) Type() Type     { return TypeRingCommit }
+func (*RingAbort) Type() Type      { return TypeRingAbort }
+func (*RingQuit) Type() Type       { return TypeRingQuit }
+func (*Manifest) Type() Type       { return TypeManifest }
+func (*Block) Type() Type          { return TypeBlock }
+func (*BlockAck) Type() Type       { return TypeBlockAck }
+func (*MedDeposit) Type() Type     { return TypeMedDeposit }
+func (*MedVerify) Type() Type      { return TypeMedVerify }
+func (*MedKey) Type() Type         { return TypeMedKey }
+func (*MedReject) Type() Type      { return TypeMedReject }
+func (*MedShardMapReq) Type() Type { return TypeMedShardMapReq }
+func (*MedShardMap) Type() Type    { return TypeMedShardMap }
+func (*MedRedirect) Type() Type    { return TypeMedRedirect }
 
 // New returns a zero message of the given wire type.
 func New(t Type) (Message, error) {
@@ -293,6 +362,12 @@ func New(t Type) (Message, error) {
 		return &MedKey{}, nil
 	case TypeMedReject:
 		return &MedReject{}, nil
+	case TypeMedShardMapReq:
+		return &MedShardMapReq{}, nil
+	case TypeMedShardMap:
+		return &MedShardMap{}, nil
+	case TypeMedRedirect:
+		return &MedRedirect{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}
@@ -570,6 +645,7 @@ func (m *Manifest) encode(w *writer) {
 	w.i32(int32(m.Object))
 	w.u64(m.Size)
 	w.u32(m.Blocks)
+	w.u64(m.Session)
 	w.u32(uint32(len(m.Digests)))
 	for _, d := range m.Digests {
 		w.buf.Write(d[:])
@@ -579,6 +655,7 @@ func (m *Manifest) decode(r *reader) error {
 	m.Object = catalog.ObjectID(r.i32())
 	m.Size = r.u64()
 	m.Blocks = r.u32()
+	m.Session = r.u64()
 	n := r.count(int(r.u32()), MaxFrame/32, 32)
 	if r.err != nil {
 		return r.err
@@ -600,6 +677,7 @@ func (m *Block) encode(w *writer) {
 	w.i32(int32(m.Object))
 	w.u32(m.Index)
 	w.u64(m.RingID)
+	w.u64(m.Session)
 	w.i32(int32(m.Origin))
 	w.i32(int32(m.Recipient))
 	w.boolean(m.Encrypted)
@@ -609,6 +687,7 @@ func (m *Block) decode(r *reader) error {
 	m.Object = catalog.ObjectID(r.i32())
 	m.Index = r.u32()
 	m.RingID = r.u64()
+	m.Session = r.u64()
 	m.Origin = core.PeerID(r.i32())
 	m.Recipient = core.PeerID(r.i32())
 	m.Encrypted = r.boolean()
@@ -619,11 +698,13 @@ func (m *Block) decode(r *reader) error {
 func (m *BlockAck) encode(w *writer) {
 	w.i32(int32(m.Object))
 	w.u32(m.Index)
+	w.u64(m.Session)
 	w.boolean(m.OK)
 }
 func (m *BlockAck) decode(r *reader) error {
 	m.Object = catalog.ObjectID(r.i32())
 	m.Index = r.u32()
+	m.Session = r.u64()
 	m.OK = r.boolean()
 	return r.err
 }
@@ -661,7 +742,7 @@ func (m *MedVerify) decode(r *reader) error {
 	m.Requester = core.PeerID(r.i32())
 	m.Sender = core.PeerID(r.i32())
 	m.Object = catalog.ObjectID(r.i32())
-	n := r.count(int(r.u32()), 4096, 29) // 4+4+8+4+4+1+4 header bytes per block
+	n := r.count(int(r.u32()), 4096, 37) // 4+4+8+8+4+4+1+4 header bytes per block
 	if r.err != nil {
 		return r.err
 	}
@@ -690,10 +771,55 @@ func (m *MedKey) decode(r *reader) error {
 
 func (m *MedReject) encode(w *writer) {
 	w.u64(m.ExchangeID)
+	w.u8(m.Code)
 	w.str(m.Reason)
 }
 func (m *MedReject) decode(r *reader) error {
 	m.ExchangeID = r.u64()
+	m.Code = r.u8()
 	m.Reason = r.str()
+	return r.err
+}
+
+func (m *MedShardMapReq) encode(w *writer) { w.u64(m.Epoch) }
+func (m *MedShardMapReq) decode(r *reader) error {
+	m.Epoch = r.u64()
+	return r.err
+}
+
+func (m *MedShardMap) encode(w *writer) {
+	w.u8(m.Version)
+	w.u64(m.Epoch)
+	w.u32(uint32(len(m.Shards)))
+	for _, s := range m.Shards {
+		w.u32(s.Index)
+		w.str(s.Addr)
+	}
+}
+func (m *MedShardMap) decode(r *reader) error {
+	m.Version = r.u8()
+	m.Epoch = r.u64()
+	n := r.count(int(r.u32()), 4096, 6) // 4 index + 2 addr length per entry
+	if r.err != nil {
+		return r.err
+	}
+	m.Shards = make([]MedShardEntry, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Shards = append(m.Shards, MedShardEntry{Index: r.u32(), Addr: r.str()})
+	}
+	return r.err
+}
+
+func (m *MedRedirect) encode(w *writer) {
+	w.i32(int32(m.Object))
+	w.u32(m.Shard)
+	w.str(m.Addr)
+	w.u64(m.Epoch)
+}
+func (m *MedRedirect) decode(r *reader) error {
+	m.Object = catalog.ObjectID(r.i32())
+	m.Shard = r.u32()
+	m.Addr = r.str()
+	m.Epoch = r.u64()
 	return r.err
 }

@@ -42,15 +42,24 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&RingCommit{RingID: 99},
 		&RingAbort{RingID: 99},
 		&RingQuit{RingID: 99},
-		&Manifest{Object: 5, Size: 1 << 20, Blocks: 4, Digests: [][32]byte{{1, 2}, {3, 4}}},
-		&Block{Object: 5, Index: 2, RingID: 7, Origin: 1, Recipient: 2, Encrypted: true, Payload: []byte("hello world")},
-		&BlockAck{Object: 5, Index: 2, OK: true},
+		&Manifest{Object: 5, Size: 1 << 20, Blocks: 4, Session: 12, Digests: [][32]byte{{1, 2}, {3, 4}}},
+		&Block{Object: 5, Index: 2, RingID: 7, Session: 12, Origin: 1, Recipient: 2, Encrypted: true, Payload: []byte("hello world")},
+		&BlockAck{Object: 5, Index: 2, Session: 11, OK: true},
 		&MedDeposit{ExchangeID: 8, Sender: 1, Object: 5, Key: [16]byte{9, 9}},
 		&MedVerify{ExchangeID: 8, Requester: 2, Sender: 1, Object: 5, Samples: []Block{
 			{Object: 5, Index: 0, Payload: []byte("x")},
 		}},
 		&MedKey{ExchangeID: 8, Key: [16]byte{9, 9}},
-		&MedReject{ExchangeID: 8, Reason: "origin mismatch"},
+		&MedReject{ExchangeID: 8, Code: MedRejectAudit, Reason: "origin mismatch"},
+		&MedReject{ExchangeID: 9, Code: MedRejectNoKey, Reason: "no escrowed key"},
+		&MedShardMapReq{Epoch: 3},
+		&MedShardMapReq{},
+		&MedShardMap{Version: ShardMapVersion, Epoch: 5, Shards: []MedShardEntry{
+			{Index: 0, Addr: "mem://med-0"},
+			{Index: 1, Addr: "127.0.0.1:7101"},
+			{Index: 2, Addr: "mem://med-2"},
+		}},
+		&MedRedirect{Object: 5, Shard: 2, Addr: "mem://med-2", Epoch: 5},
 	}
 	for _, msg := range msgs {
 		got := roundTrip(t, msg)

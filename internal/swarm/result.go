@@ -44,9 +44,9 @@ type Result struct {
 	Elapsed       time.Duration
 	Peers         []PeerResult
 	// Wanted/Completed/Failed total the per-peer counts; Restarts totals
-	// churn cycles; Flagged counts cheaters the mediator caught; Flips and
-	// Whitewashes total the adversary scenario's adaptive transitions and
-	// identity churns.
+	// churn cycles; Flagged counts cheaters the mediator tier caught;
+	// Flips and Whitewashes total the adversary scenario's adaptive
+	// transitions and identity churns.
 	Wanted      int
 	Completed   int
 	Failed      int
@@ -54,6 +54,10 @@ type Result struct {
 	Flagged     int
 	Flips       int
 	Whitewashes int
+	// Mediators is the mediator tier size; ShardKills counts the shard
+	// kill/restart cycles the medfail scenario performed.
+	Mediators  int
+	ShardKills int
 }
 
 // ClassMean returns the mean completion time over every finished download
@@ -107,8 +111,9 @@ func (r *Result) TSV() string {
 	if r.Restarts > 0 {
 		fmt.Fprintf(&b, "# churn: restarts=%d\n", r.Restarts)
 	}
-	if r.Flagged > 0 {
-		fmt.Fprintf(&b, "# mediator: flagged=%d cheaters\n", r.Flagged)
+	if r.Flagged > 0 || r.ShardKills > 0 {
+		fmt.Fprintf(&b, "# mediator: shards=%d flagged=%d cheaters shard_kills=%d\n",
+			r.Mediators, r.Flagged, r.ShardKills)
 	}
 	if r.Flips > 0 || r.Whitewashes > 0 {
 		fmt.Fprintf(&b, "# adversary: flips=%d whitewashes=%d\n", r.Flips, r.Whitewashes)
@@ -120,15 +125,16 @@ func (r *Result) TSV() string {
 // counters, for digging into a run beyond the aggregate.
 func (r *Result) PeersTSV() string {
 	var b strings.Builder
-	b.WriteString("peer\tclass\twanted\tcompleted\tfailed\tattempts\tmean_s\trestarts\tflips\twhitewash\tblocks_sent\tblocks_recv\tblocks_rej\texch_blocks\trings\tpreempt\tserved\toverflows\n")
+	b.WriteString("peer\tclass\twanted\tcompleted\tfailed\tattempts\tmean_s\trestarts\tflips\twhitewash\tblocks_sent\tblocks_recv\tblocks_rej\texch_blocks\trings\tpreempt\tserved\toverflows\taudits\taudit_rej\n")
 	for i := range r.Peers {
 		p := &r.Peers[i]
-		fmt.Fprintf(&b, "%d\t%s\t%d\t%d\t%d\t%d\t%.3f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(&b, "%d\t%s\t%d\t%d\t%d\t%d\t%.3f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			p.ID, p.Class, p.Wanted, p.Completed, p.Failed, p.Attempts, p.MeanCompletion.Seconds(),
 			p.Restarts, p.Flips, p.Whitewashes,
 			p.Stats.BlocksSent, p.Stats.BlocksReceived, p.Stats.BlocksRejected,
 			p.Stats.ExchangeBlocksSent, p.Stats.RingsJoined, p.Stats.Preemptions,
-			p.Stats.RequestsServed, p.Stats.SendOverflows)
+			p.Stats.RequestsServed, p.Stats.SendOverflows,
+			p.Stats.MedVerifies, p.Stats.MedRejects)
 	}
 	return b.String()
 }
@@ -152,6 +158,8 @@ func (s *swarmRun) collect(elapsed time.Duration, flagged int) *Result {
 		FreeriderFrac: frac,
 		Elapsed:       elapsed,
 		Flagged:       flagged,
+		Mediators:     s.cfg.Mediators,
+		ShardKills:    s.kills,
 	}
 	for _, p := range s.peers {
 		pr := PeerResult{Class: p.class()}

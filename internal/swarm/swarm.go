@@ -26,13 +26,20 @@
 //     contributing once starved, whitewashers that periodically rejoin
 //     under fresh identities, and partial sharers with throttled upload
 //     slots — each reported as its own live/<class> series.
+//   - medfail: the cheater world with every node speaking the mediated
+//     block path natively (sealed blocks, escrowed keys, end-of-transfer
+//     audits via internal/medclient) while mediator shards are killed and
+//     restarted mid-run; cheater detection must still converge.
 //
 // Peer behavior classes come from internal/strategy — the same declarative
 // definitions the simulator consumes — so exchswarm TSV and exchsim figures
 // report identical class labels from one source of truth.
 //
 // The orchestrator owns a shared address directory (the lookup service the
-// paper treats as external) and a digest oracle covering the whole catalog.
+// paper treats as external), a digest oracle covering the whole catalog,
+// and the mediator tier: Config.Mediators shards partitioned by consistent
+// hashing over object id (every scenario runs against it; 1 shard
+// reproduces the historical single mediator).
 package swarm
 
 import (
@@ -44,6 +51,7 @@ import (
 
 	"barter/internal/catalog"
 	"barter/internal/core"
+	"barter/internal/medclient"
 	"barter/internal/mediator"
 	"barter/internal/node"
 	"barter/internal/protocol"
@@ -63,11 +71,17 @@ const (
 	Cheater    Scenario = "cheater"
 	Churn      Scenario = "churn"
 	Adversary  Scenario = "adversary"
+	// Medfail is the mediator-tier torture test: the cheater world with
+	// nodes speaking the mediated block path natively (sealed blocks,
+	// escrowed keys, end-of-transfer audits through the shard-aware
+	// client), while mediator shards are killed and restarted mid-run.
+	// Cheater detection must still converge.
+	Medfail Scenario = "medfail"
 )
 
 // Scenarios lists every built-in scenario in presentation order.
 func Scenarios() []Scenario {
-	return []Scenario{FlashCrowd, Mixed, Freerider, Cheater, Churn, Adversary}
+	return []Scenario{FlashCrowd, Mixed, Freerider, Cheater, Churn, Adversary, Medfail}
 }
 
 // Peer class labels, shared with the simulator through internal/strategy so
@@ -132,6 +146,16 @@ type Config struct {
 	// performs; ChurnInterval is the pause between them.
 	Restarts      int
 	ChurnInterval time.Duration
+	// Mediators sizes the mediator tier: N shards partitioned by
+	// consistent hashing over object id, each owning its slice of escrow
+	// and flagged-peer state. 0 means a single shard — the historical
+	// one-process mediator.
+	Mediators int
+	// MedKills is how many shard kill/restart cycles the medfail scenario
+	// performs (round-robin over the tier); MedKillInterval is the pause
+	// between them.
+	MedKills        int
+	MedKillInterval time.Duration
 	// Timeout bounds the whole run; wants still pending when it expires
 	// are recorded as failed.
 	Timeout time.Duration
@@ -141,7 +165,7 @@ type Config struct {
 
 func (c *Config) fillDefaults() error {
 	switch c.Scenario {
-	case FlashCrowd, Mixed, Freerider, Cheater, Churn, Adversary:
+	case FlashCrowd, Mixed, Freerider, Cheater, Churn, Adversary, Medfail:
 	case "":
 		return errors.New("swarm: Scenario is required")
 	default:
@@ -153,9 +177,27 @@ func (c *Config) fillDefaults() error {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Mediators <= 0 {
+		if c.Scenario == Medfail {
+			c.Mediators = 4 // killing shards needs a tier to fail over within
+		} else {
+			c.Mediators = 1
+		}
+	}
+	if c.Mediators > 64 {
+		return fmt.Errorf("swarm: %d mediator shards is beyond any sane tier", c.Mediators)
+	}
+	if c.Scenario == Medfail {
+		if c.MedKills <= 0 {
+			c.MedKills = 6
+		}
+		if c.MedKillInterval <= 0 {
+			c.MedKillInterval = 150 * time.Millisecond
+		}
+	}
 	if c.Objects <= 0 {
 		switch c.Scenario {
-		case FlashCrowd, Cheater:
+		case FlashCrowd, Cheater, Medfail:
 			c.Objects = 1
 		default:
 			c.Objects = max(4, c.Nodes/8)
@@ -181,9 +223,10 @@ func (c *Config) fillDefaults() error {
 			c.UploadSlots = 4
 		}
 	}
-	if c.BlockDelay <= 0 && (c.Scenario == Freerider || c.Scenario == Adversary) {
+	if c.BlockDelay <= 0 && (c.Scenario == Freerider || c.Scenario == Adversary || c.Scenario == Medfail) {
 		// Paced slots give ring negotiation time to preempt, as in the
-		// paper's fixed-rate transfer model.
+		// paper's fixed-rate transfer model — and stretch medfail
+		// transfers so shard kills land while blocks are in flight.
 		c.BlockDelay = time.Millisecond
 	}
 	if c.WantsPerNode <= 0 {
@@ -198,7 +241,7 @@ func (c *Config) fillDefaults() error {
 	if c.FreeriderFrac < 0 || c.FreeriderFrac > 0.9 {
 		return fmt.Errorf("swarm: FreeriderFrac %g out of range [0, 0.9]", c.FreeriderFrac)
 	}
-	if c.CorruptFrac == 0 && c.Scenario == Cheater {
+	if c.CorruptFrac == 0 && (c.Scenario == Cheater || c.Scenario == Medfail) {
 		c.CorruptFrac = 0.3
 	}
 	if c.CorruptFrac < 0 || c.CorruptFrac > 0.9 {
@@ -288,6 +331,9 @@ type wantState struct {
 // the simulator consumes.
 type peerState struct {
 	strat strategy.Strategy
+	// medc is the peer's shard-aware mediator client (mediated scenarios
+	// only); it survives node restarts and is closed at teardown.
+	medc *medclient.Client
 
 	mu       sync.Mutex
 	id       core.PeerID // changes when a whitewasher sheds its identity
@@ -336,7 +382,8 @@ type swarmRun struct {
 	dir     *directory
 	oracle  map[catalog.ObjectID][][32]byte
 	peers   []*peerState
-	med     *mediator.Mediator
+	cluster *mediator.Cluster
+	kills   int // shard kill/restart cycles performed (medfail)
 	rng     *rng.RNG
 	start   time.Time
 	giveUp  chan struct{} // closed when the run deadline expires
@@ -416,6 +463,18 @@ func Run(cfg Config) (*Result, error) {
 		s.oracle[id] = blockDigests(objData(id, cfg.ObjectSize), cfg.BlockSize)
 	}
 
+	// The mediator tier comes up before the world: mediated nodes need
+	// bootstrap seeds at spawn time.
+	cluster, err := mediator.NewCluster(s.tr, s.mediatorAddrs(), func(o catalog.ObjectID) ([][32]byte, bool) {
+		d, ok := s.oracle[o]
+		return d, ok
+	})
+	if err != nil {
+		return nil, fmt.Errorf("swarm: mediator tier: %w", err)
+	}
+	s.cluster = cluster
+	defer cluster.Close()
+
 	if err := s.buildWorld(); err != nil {
 		s.teardown()
 		return nil, err
@@ -423,47 +482,85 @@ func Run(cfg Config) (*Result, error) {
 	s.seedIDAllocator()
 	s.logf("world: %s", s.describe())
 
-	med, err := mediator.New(s.tr, s.mediatorAddr(), func(o catalog.ObjectID) ([][32]byte, bool) {
-		d, ok := s.oracle[o]
-		return d, ok
-	})
-	if err != nil {
-		s.teardown()
-		return nil, fmt.Errorf("swarm: mediator: %w", err)
-	}
-	s.med = med
-
 	s.start = time.Now()
 	deadline := time.AfterFunc(cfg.Timeout, func() { close(s.giveUp) })
 	defer deadline.Stop()
 
 	s.launchWants()
 	s.superviseAdversaries()
+	killerDone := make(chan struct{})
+	if cfg.Scenario == Medfail {
+		s.monitors.Add(1)
+		go s.shardKiller(killerDone)
+	}
 	if cfg.Scenario == Churn {
 		s.churn()
 	}
 	s.waiters.Wait()
-	// Join the adversary monitors before touching nodes: a mid-respawn
-	// whitewasher must not race teardown.
+	// Stop the shard killer before auditing, then join the adversary
+	// monitors before touching nodes: a mid-respawn whitewasher must not
+	// race teardown.
+	close(killerDone)
 	s.monitors.Wait()
 
 	flagged := 0
-	if cfg.Scenario == Cheater {
+	switch cfg.Scenario {
+	case Cheater:
 		flagged = s.auditCheaters()
+	case Medfail:
+		flagged = s.convergeCheaterFlags()
 	}
 	elapsed := time.Since(s.start)
 
 	res := s.collect(elapsed, flagged)
 	s.teardown()
-	med.Close()
 	return res, nil
 }
 
-func (s *swarmRun) mediatorAddr() string {
-	if s.cfg.TCP {
-		return "127.0.0.1:0"
+// mediatorAddrs names the tier's listen addresses.
+func (s *swarmRun) mediatorAddrs() []string {
+	addrs := make([]string, s.cfg.Mediators)
+	for i := range addrs {
+		if s.cfg.TCP {
+			addrs[i] = "127.0.0.1:0"
+		} else {
+			addrs[i] = fmt.Sprintf("mem://swarm-mediator-%d", i)
+		}
 	}
-	return "mem://swarm-mediator"
+	return addrs
+}
+
+// mediated reports whether nodes in this scenario speak the mediated block
+// path natively.
+func (s *swarmRun) mediated() bool { return s.cfg.Scenario == Medfail }
+
+// shardKiller kills and restarts mediator shards round-robin until its
+// budget is spent, the run deadline hits, or the workload settles. The
+// first kill lands immediately — a quick world can finish inside one kill
+// interval, and a medfail run that never lost a shard proves nothing.
+func (s *swarmRun) shardKiller(done <-chan struct{}) {
+	defer s.monitors.Done()
+	for i := 0; i < s.cfg.MedKills; i++ {
+		if i > 0 {
+			t := time.NewTimer(s.cfg.MedKillInterval)
+			select {
+			case <-t.C:
+			case <-done:
+				t.Stop()
+				return
+			case <-s.giveUp:
+				t.Stop()
+				return
+			}
+		}
+		shard := i % s.cluster.Shards()
+		s.logf("killing mediator shard %d (cycle %d/%d)", shard, i+1, s.cfg.MedKills)
+		if err := s.cluster.RestartShard(shard); err != nil {
+			s.logf("restart of mediator shard %d failed: %v", shard, err)
+			continue
+		}
+		s.kills++
+	}
 }
 
 func (s *swarmRun) nodeAddr() string {
@@ -507,6 +604,20 @@ func (s *swarmRun) spawn(p *peerState) error {
 			d, ok := s.oracle[o]
 			return d, ok
 		}
+	}
+	if s.mediated() {
+		if p.medc == nil {
+			mc, err := medclient.New(medclient.Config{
+				Transport: s.tr,
+				Seeds:     s.cluster.Addrs(),
+				Backoff:   10 * time.Millisecond,
+			})
+			if err != nil {
+				return fmt.Errorf("swarm: medclient for %d: %w", id, err)
+			}
+			p.medc = mc
+		}
+		cfg.Mediator = p.medc
 	}
 	n, err := node.New(cfg)
 	if err != nil {
@@ -792,13 +903,63 @@ func (s *swarmRun) whitewashMonitor(p *peerState) {
 	}
 }
 
-// auditCheaters plays the receiving peer's role of the Section III-B
-// protocol against every corrupt node: seal the junk it serves under its
-// escrowed key, deposit, and submit samples for audit. The mediator must
-// reject every one and flag the cheater. (Nodes do not yet speak the
-// mediated encryption natively on the block path; the swarm audits
-// out-of-band, which still exercises the mediator under full concurrency.)
+// auditClient builds a shard-aware client for the orchestrator's own
+// audits, bootstrapped at the tier's current addresses.
+func (s *swarmRun) auditClient() (*medclient.Client, error) {
+	return medclient.New(medclient.Config{
+		Transport: s.tr,
+		Seeds:     s.cluster.Addrs(),
+		Backoff:   10 * time.Millisecond,
+		Logf:      s.cfg.Logf,
+	})
+}
+
+// auditOne plays the receiving peer's role of the Section III-B protocol
+// against one corrupt node: seal the junk it serves under its escrowed
+// key, deposit, and submit a sample for audit. It reports whether the
+// tier rejected the exchange (and so flagged the cheater).
+func (s *swarmRun) auditOne(cl *medclient.Client, id core.PeerID) bool {
+	obj := catalog.ObjectID(1)
+	// Distinct from the organic exchange ids the mediated block path
+	// derives, so orchestrator audits never collide with node escrow.
+	exchange := uint64(id) | 1<<63
+	var key [16]byte
+	copy(key[:], fmt.Sprintf("cheater-%08d-key", id))
+	if err := cl.Deposit(exchange, id, obj, key); err != nil {
+		s.logf("audit %d: deposit: %v", id, err)
+		return false
+	}
+	// What a corrupt node actually serves: junk bytes in place of the real
+	// block (the same pattern node.Config.Corrupt emits).
+	junk := make([]byte, min(s.cfg.BlockSize, s.cfg.ObjectSize))
+	for j := range junk {
+		junk[j] = byte(j) ^ 0xAA
+	}
+	victim := id + 1
+	sealed, err := mediator.Seal(key, id, victim, obj, 0, junk)
+	if err != nil {
+		s.logf("audit %d: seal: %v", id, err)
+		return false
+	}
+	samples := []protocol.Block{{Object: obj, Index: 0, Origin: id, Recipient: victim, Encrypted: true, Payload: sealed}}
+	_, err = cl.Verify(exchange, victim, id, obj, samples)
+	if errors.Is(err, medclient.ErrRejected) {
+		return true
+	}
+	s.logf("audit %d: junk passed the audit: %v", id, err)
+	return false
+}
+
+// auditCheaters audits every corrupt node concurrently through the
+// shard-aware client; each audit routes to whichever shard owns the
+// object's partition.
 func (s *swarmRun) auditCheaters() int {
+	cl, err := s.auditClient()
+	if err != nil {
+		s.logf("audit client: %v", err)
+		return 0
+	}
+	defer cl.Close()
 	var wg sync.WaitGroup
 	flagged := make([]bool, len(s.peers))
 	for i, p := range s.peers {
@@ -806,39 +967,7 @@ func (s *swarmRun) auditCheaters() int {
 			wg.Add(1)
 			go func(i int, id core.PeerID) {
 				defer wg.Done()
-				cl, err := mediator.Dial(s.tr, s.med.Addr())
-				if err != nil {
-					s.logf("audit %d: dial: %v", id, err)
-					return
-				}
-				defer cl.Close()
-				obj := catalog.ObjectID(1)
-				exchange := uint64(id)
-				var key [16]byte
-				copy(key[:], fmt.Sprintf("cheater-%08d-key", id))
-				if err := cl.Deposit(exchange, id, obj, key); err != nil {
-					s.logf("audit %d: deposit: %v", id, err)
-					return
-				}
-				// What a corrupt node actually serves: junk bytes in place of
-				// the real block (the same pattern node.Config.Corrupt emits).
-				junk := make([]byte, min(s.cfg.BlockSize, s.cfg.ObjectSize))
-				for j := range junk {
-					junk[j] = byte(j) ^ 0xAA
-				}
-				victim := id + 1
-				sealed, err := mediator.Seal(key, id, victim, obj, 0, junk)
-				if err != nil {
-					s.logf("audit %d: seal: %v", id, err)
-					return
-				}
-				samples := []protocol.Block{{Object: obj, Index: 0, Origin: id, Recipient: victim, Encrypted: true, Payload: sealed}}
-				_, err = cl.Verify(exchange, victim, id, obj, samples)
-				if errors.Is(err, mediator.ErrRejected) {
-					flagged[i] = true
-				} else {
-					s.logf("audit %d: junk passed the audit: %v", id, err)
-				}
+				flagged[i] = s.auditOne(cl, id)
 			}(i, p.currentID())
 		}
 	}
@@ -852,7 +981,62 @@ func (s *swarmRun) auditCheaters() int {
 	return n
 }
 
-// teardown closes every live node.
+// convergeCheaterFlags drives medfail's acceptance criterion: after the
+// shard killer stops, every corrupt seed must end up flagged on the
+// (surviving) tier. Organic flags from the mediated block path count; any
+// cheater still unflagged — it never won a manifest race, or its flag died
+// with a killed shard — is re-audited until the tier-wide count converges
+// or the run deadline hits.
+func (s *swarmRun) convergeCheaterFlags() int {
+	corrupt := make([]core.PeerID, 0)
+	for _, p := range s.peers {
+		if p.strat.Corrupt {
+			corrupt = append(corrupt, p.currentID())
+		}
+	}
+	if len(corrupt) == 0 {
+		return 0
+	}
+	cl, err := s.auditClient()
+	if err != nil {
+		s.logf("audit client: %v", err)
+		return 0
+	}
+	defer cl.Close()
+	for {
+		missing := 0
+		for _, id := range corrupt {
+			if s.cluster.Flagged(id) > 0 {
+				continue
+			}
+			if !s.auditOne(cl, id) {
+				missing++
+			}
+		}
+		if missing == 0 {
+			break
+		}
+		s.logf("cheater flags not yet converged: %d missing", missing)
+		t := time.NewTimer(20 * time.Millisecond)
+		select {
+		case <-t.C:
+		case <-s.giveUp:
+			t.Stop()
+			s.logf("deadline hit with %d cheater flags missing", missing)
+			flaggedNow := 0
+			for _, id := range corrupt {
+				if s.cluster.Flagged(id) > 0 {
+					flaggedNow++
+				}
+			}
+			return flaggedNow
+		}
+	}
+	return len(corrupt)
+}
+
+// teardown closes every live node, then the mediator clients they used
+// (nodes first: their in-flight audit goroutines hold the clients).
 func (s *swarmRun) teardown() {
 	var wg sync.WaitGroup
 	for _, p := range s.peers {
@@ -865,4 +1049,9 @@ func (s *swarmRun) teardown() {
 		}
 	}
 	wg.Wait()
+	for _, p := range s.peers {
+		if p.medc != nil {
+			p.medc.Close()
+		}
+	}
 }

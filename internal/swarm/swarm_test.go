@@ -50,7 +50,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestScenariosListed(t *testing.T) {
-	if len(Scenarios()) != 6 {
+	if len(Scenarios()) != 7 {
 		t.Fatalf("Scenarios() = %v", Scenarios())
 	}
 }
@@ -169,6 +169,85 @@ func TestCheaterAudited(t *testing.T) {
 	if rejected == 0 {
 		t.Fatal("no junk blocks were rejected — cheaters never probed anyone")
 	}
+}
+
+// TestCheaterAuditedShardedTier reruns the cheater acceptance check with a
+// 4-shard mediator tier: audits route by consistent hashing and the
+// detection result must match the single-mediator run — every cheater
+// flagged.
+func TestCheaterAuditedShardedTier(t *testing.T) {
+	defer leakCheck(t)()
+	res, err := Run(Config{Scenario: Cheater, Nodes: 60, Quick: true, Seed: 5, Mediators: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("cheater w/ shards: %d failures\n%s", res.Failed, res.PeersTSV())
+	}
+	corrupt := 0
+	for _, p := range res.Peers {
+		if p.Class == ClassCorrupt {
+			corrupt++
+		}
+	}
+	if corrupt == 0 || res.Flagged != corrupt {
+		t.Fatalf("sharded tier flagged %d of %d cheaters", res.Flagged, corrupt)
+	}
+	if res.Mediators != 4 {
+		t.Fatalf("result reports %d mediators, want 4", res.Mediators)
+	}
+	if !strings.Contains(res.TSV(), "shards=4") {
+		t.Fatalf("TSV missing shard count:\n%s", res.TSV())
+	}
+}
+
+// TestMedfailScenario is the mediator-tier acceptance run: nodes speak the
+// mediated block path natively while shards are killed and restarted
+// mid-run. Every download must still complete, every cheater must end up
+// flagged, and the audit machinery must show real node-side traffic.
+func TestMedfailScenario(t *testing.T) {
+	defer leakCheck(t)()
+	res, err := Run(Config{
+		Scenario:        Medfail,
+		Nodes:           48,
+		Quick:           true,
+		Seed:            5,
+		MedKills:        4,
+		MedKillInterval: 80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || res.Completed != res.Wanted {
+		t.Fatalf("medfail: completed %d failed %d of %d\n%s",
+			res.Completed, res.Failed, res.Wanted, res.PeersTSV())
+	}
+	corrupt := 0
+	audits, rejects := 0, 0
+	for _, p := range res.Peers {
+		if p.Class == ClassCorrupt {
+			corrupt++
+		}
+		audits += p.Stats.MedVerifies
+		rejects += p.Stats.MedRejects
+	}
+	if corrupt == 0 {
+		t.Fatal("world built no corrupt peers")
+	}
+	if res.Flagged != corrupt {
+		t.Fatalf("tier flagged %d of %d cheaters despite failover\n%s", res.Flagged, corrupt, res.PeersTSV())
+	}
+	if audits == 0 {
+		t.Fatal("no node-side audits ran — the mediated block path never engaged")
+	}
+	if res.ShardKills == 0 {
+		t.Fatal("no mediator shard was ever killed")
+	}
+	tsv := res.TSV()
+	if !strings.Contains(tsv, "shard_kills=") {
+		t.Fatalf("TSV missing shard-kill counter:\n%s", tsv)
+	}
+	_ = rejects // junk transfers may or may not have occurred organically
 }
 
 // TestChurn is the acceptance scenario for shutdown robustness: nodes are

@@ -278,6 +278,107 @@ func TestTCPReadDeadline(t *testing.T) {
 	}
 }
 
+// TestTCPReadDeadlineOnDialedConn mirrors TestTCPReadDeadline from the
+// dialer's side: deadlines must be armed on outbound connections too, and
+// the connection must close cleanly after the expiry.
+func TestTCPReadDeadlineOnDialedConn(t *testing.T) {
+	tr := TCP{ReadTimeout: 100 * time.Millisecond}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close() //nolint:errcheck // test cleanup
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Recv() // the acceptor never sends
+	if err == nil {
+		t.Fatal("Recv from a silent listener returned nil error")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("Recv err = %v, want a net timeout", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("read deadline fired far too late")
+	}
+	// The op failed; the connection still closes cleanly, exactly once.
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close after read expiry: %v", err)
+	}
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("Recv succeeded on a closed connection")
+	}
+	select {
+	case sc := <-accepted:
+		sc.Close() //nolint:errcheck // test cleanup
+	default:
+	}
+}
+
+// TestTCPWriteDeadline: with a WriteTimeout armed, sending into a peer
+// that never reads must fail once the socket buffers fill, instead of
+// wedging the writer goroutine (and its upload slot) forever — and the
+// connection must still close cleanly afterwards.
+func TestTCPWriteDeadline(t *testing.T) {
+	tr := TCP{WriteTimeout: 100 * time.Millisecond}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close() //nolint:errcheck // test cleanup
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c // never Recv: the socket buffers must fill
+		}
+	}()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck // test cleanup
+
+	msg := &protocol.Block{Object: 1, Payload: make([]byte, 1<<20)}
+	var sendErr error
+	deadline := time.Now().Add(15 * time.Second)
+	for i := 0; i < 256 && sendErr == nil; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("write deadline never fired despite an unread flood")
+		}
+		sendErr = c.Send(msg)
+	}
+	if sendErr == nil {
+		t.Fatal("256 MiB queued against a non-reading peer without an error")
+	}
+	var ne net.Error
+	if !errors.As(sendErr, &ne) || !ne.Timeout() {
+		t.Fatalf("Send err = %v, want a net timeout", sendErr)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close after write expiry: %v", err)
+	}
+	if err := c.Send(msg); err == nil {
+		t.Fatal("Send succeeded on a closed connection")
+	}
+	select {
+	case sc := <-accepted:
+		sc.Close() //nolint:errcheck // test cleanup
+	case <-time.After(5 * time.Second):
+		t.Fatal("listener never accepted")
+	}
+}
+
 // TestTCPNoDeadlineByDefault: the zero-value transport must not time out a
 // quiet but healthy connection (compatibility with existing deployments).
 func TestTCPNoDeadlineByDefault(t *testing.T) {

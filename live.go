@@ -5,6 +5,7 @@ import (
 
 	"barter/internal/catalog"
 	"barter/internal/core"
+	"barter/internal/medclient"
 	"barter/internal/mediator"
 	"barter/internal/node"
 	"barter/internal/swarm"
@@ -26,10 +27,22 @@ type (
 	NodeStats = node.Stats
 	// Transport is the pluggable byte transport under the live protocol.
 	Transport = transport.Transport
-	// Mediator is the trusted audit-and-escrow service of Section III-B.
+	// Mediator is the trusted audit-and-escrow service of Section III-B —
+	// standalone, or one shard of a MediatorCluster.
 	Mediator = mediator.Mediator
+	// MediatorShardOpts position a mediator inside a sharded tier.
+	MediatorShardOpts = mediator.ShardOpts
+	// MediatorCluster is a horizontally sharded mediator tier: N shards
+	// partitioned by consistent hashing over object id, with kill/restart
+	// support for failover scenarios.
+	MediatorCluster = mediator.Cluster
 	// DigestOracle supplies trusted block checksums to a mediator.
 	DigestOracle = mediator.DigestOracle
+	// MedClient is the shard-aware mediator client: shard-map caching,
+	// pooled connections, retry with backoff, replica failover.
+	MedClient = medclient.Client
+	// MedClientConfig parameterizes a MedClient.
+	MedClientConfig = medclient.Config
 	// SwarmConfig parameterizes a live-network swarm run; see RunSwarm.
 	SwarmConfig = swarm.Config
 	// SwarmScenario names a declarative swarm workload.
@@ -48,6 +61,17 @@ const (
 	SwarmCheater    = swarm.Cheater
 	SwarmChurn      = swarm.Churn
 	SwarmAdversary  = swarm.Adversary
+	SwarmMedfail    = swarm.Medfail
+)
+
+// MedClient verdict errors: a rejection proves the claimed sender cheated;
+// a missing key is transient (escrow not yet arrived, or lost to a shard
+// restart); unavailable means the tier was unreachable through every retry
+// and failover attempt.
+var (
+	ErrMediatorRejected    = medclient.ErrRejected
+	ErrMediatorNoKey       = medclient.ErrNoKey
+	ErrMediatorUnavailable = medclient.ErrUnavailable
 )
 
 // RunSwarm launches a live-network swarm — hundreds of real peers plus a
@@ -82,7 +106,26 @@ func NewTCPTransportDeadlines(read, write time.Duration) Transport {
 	return transport.TCP{ReadTimeout: read, WriteTimeout: write}
 }
 
-// NewMediator starts a trusted mediator on the given transport address.
+// NewMediator starts a standalone trusted mediator on the given transport
+// address.
 func NewMediator(tr Transport, addr string, oracle DigestOracle) (*Mediator, error) {
 	return mediator.New(tr, addr, oracle)
+}
+
+// NewMediatorShard starts a mediator as one member of a sharded tier; the
+// opts carry its ring position and the topology map it advertises.
+func NewMediatorShard(tr Transport, addr string, oracle DigestOracle, opts MediatorShardOpts) (*Mediator, error) {
+	return mediator.NewShard(tr, addr, oracle, opts)
+}
+
+// NewMediatorCluster starts one mediator shard per listen address, all
+// sharing the oracle, partitioned by consistent hashing over object id.
+func NewMediatorCluster(tr Transport, addrs []string, oracle DigestOracle) (*MediatorCluster, error) {
+	return mediator.NewCluster(tr, addrs, oracle)
+}
+
+// NewMedClient builds the shard-aware mediator client every live peer
+// should route its escrow and audit traffic through.
+func NewMedClient(cfg MedClientConfig) (*MedClient, error) {
+	return medclient.New(cfg)
 }
