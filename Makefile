@@ -8,7 +8,12 @@ GO ?= go
 BENCH_JSON ?= BENCH_2.json
 BENCH_RAW  ?= /tmp/barter-bench-raw.txt
 
-.PHONY: build test test-short test-full swarm-smoke fuzz-smoke bench bench-json bench-check fmt vet lint check
+# The staticcheck version CI pins; the lint workflow installs exactly this
+# (via `make -s print-staticcheck-version`) so the Makefile is the single
+# source of truth for the linter toolchain.
+STATICCHECK_VERSION ?= 2025.1
+
+.PHONY: build test test-short test-full swarm-smoke soak fuzz-smoke bench bench-json bench-check fmt vet lint print-staticcheck-version check
 
 build:
 	$(GO) build ./...
@@ -36,6 +41,14 @@ swarm-smoke:
 	$(GO) run -race ./cmd/exchswarm -scenario cheater -nodes 120 -mediators 4 -quick
 	$(GO) run -race ./cmd/exchswarm -scenario medfail -nodes 80 -mediators 4 -quick
 
+## soak: the scheduled long-haul lane (.github/workflows/soak.yml) — a
+## race-enabled reshard run (durable shards churned by kills, restarts, and
+## live grow/shrink reshapes under a cheater mix; exits nonzero if any flag
+## is lost) plus a longer medfail failover run than the per-push smoke.
+soak:
+	$(GO) run -race ./cmd/exchswarm -scenario reshard -nodes 96 -reshards 12 -quick -v
+	$(GO) run -race ./cmd/exchswarm -scenario medfail -nodes 120 -mediators 4 -medkills 10 -quick -v
+
 ## fuzz-smoke: a short native-fuzzing pass over the wire codec; CI runs it
 ## in the short job so every push hammers Decode with fresh mutated frames.
 fuzz-smoke:
@@ -55,11 +68,14 @@ bench-json:
 	$(GO) run ./cmd/benchjson -in $(BENCH_RAW) -out $(BENCH_JSON)
 
 ## bench-check: regenerate the trajectory point and fail if the engine
-## event rate regressed >15% against the committed baseline.
+## event rate — or the sharded mediator's audit throughput — regressed >15%
+## against the committed baseline.
 bench-check:
 	$(MAKE) bench-json BENCH_JSON=/tmp/barter-bench-head.json
 	$(GO) run ./cmd/benchjson -compare BENCH_2.json -new /tmp/barter-bench-head.json \
 		-bench BenchmarkSimulationEventRate -metric events/s -tolerance 0.15
+	$(GO) run ./cmd/benchjson -compare BENCH_2.json -new /tmp/barter-bench-head.json \
+		-bench BenchmarkMediatorVerify/shards=4 -metric verifies/s -tolerance 0.15
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -71,13 +87,21 @@ vet:
 	$(GO) vet -tags race ./...
 
 ## lint: gofmt + vet, plus staticcheck's correctness analyses (SA*) when the
-## binary is available (CI installs it; locally it is optional so the target
-## works in hermetic environments without network access).
+## binary is available. Locally a missing staticcheck only warns, so the
+## target works in hermetic environments without network access; CI runs
+## with LINT_STRICT=1, where a missing binary is a hard failure — the lint
+## job must never silently skip its own linter.
 lint: fmt vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck -checks 'SA*' ./...; \
+	elif [ "$(LINT_STRICT)" = "1" ]; then \
+		echo "lint: staticcheck not installed and LINT_STRICT=1"; exit 1; \
 	else \
 		echo "lint: staticcheck not installed; ran gofmt + go vet only"; \
 	fi
+
+## print-staticcheck-version: the pinned linter version, for CI to install.
+print-staticcheck-version:
+	@echo $(STATICCHECK_VERSION)
 
 check: build fmt vet test-short

@@ -14,10 +14,15 @@
 //	exchswarm -scenario adversary -nodes 80 -adaptive 0.2 -whitewash 0.1 -partial 0.2 -quick
 //	exchswarm -scenario cheater -nodes 120 -mediators 4 -quick
 //	exchswarm -scenario medfail -nodes 80 -mediators 4 -medkills 6 -quick -v
+//	exchswarm -scenario reshard -nodes 80 -reshards 9 -quick -v
 //
 // -mediators shards the mediator tier (consistent hashing over object id)
 // for any scenario; medfail additionally kills and restarts shards mid-run
-// while nodes speak the mediated block path natively.
+// while nodes speak the mediated block path natively. reshard runs the
+// medfail mix over a durable tier (write-ahead logs under -meddata, or a
+// temporary dir) while live AddShard/RemoveShard reshapes churn the ring;
+// the run fails if any reshape — or the final full-tier restart — loses a
+// detection-history flag.
 //
 // The aggregate TSV mirrors Figure 12's axes (mean download time per peer
 // class vs. fraction of non-sharing peers); -peers appends one row per node
@@ -67,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		restarts = fs.Int("restarts", 0, "node restarts mid-run (churn scenario)")
 		medshard = fs.Int("mediators", 0, "mediator tier size in shards (0 = scenario default)")
 		medkills = fs.Int("medkills", 0, "mediator shard kill/restart cycles (medfail scenario)")
+		reshards = fs.Int("reshards", 0, "elastic tier reshape cycles (reshard scenario)")
+		meddata  = fs.String("meddata", "", "mediator write-ahead-log directory (reshard scenario; empty = temp dir)")
 		objSize  = fs.Int("objsize", 0, "object size in bytes (0 = scenario default)")
 		block    = fs.Int("block", 0, "block size in bytes (0 = scenario default)")
 		slots    = fs.Int("slots", 0, "upload slots per sharer (0 = scenario default)")
@@ -106,6 +113,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Restarts:      *restarts,
 		Mediators:     *medshard,
 		MedKills:      *medkills,
+		Reshards:      *reshards,
+		MedDataDir:    *meddata,
 		ObjectSize:    *objSize,
 		BlockSize:     *block,
 		UploadSlots:   *slots,
@@ -132,6 +141,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if res.Failed > 0 {
 		return fmt.Errorf("%d of %d downloads failed", res.Failed, res.Wanted)
+	}
+	if res.FlagsLost > 0 {
+		return fmt.Errorf("%d detection-history flags lost across tier reshapes", res.FlagsLost)
 	}
 	return nil
 }

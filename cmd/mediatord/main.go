@@ -16,6 +16,12 @@
 // partitioned by consistent hashing, and answers shard-map requests so
 // clients bootstrapped at any member discover the rest.
 //
+// With -data the shard keeps a write-ahead log of escrow deposits and
+// cheater flags under the given directory and replays it at startup, so a
+// restarted process forgets neither in-flight escrow nor detection history:
+//
+//	mediatord -listen 127.0.0.1:7100 -registry ./content -data ./medstate
+//
 // The mediator serves until SIGINT/SIGTERM (closing gracefully: open
 // connections are torn down and their serve goroutines joined), or for
 // -duration if one is given.
@@ -120,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		duration = fs.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
 		shard    = fs.String("shard", "", `shard position "i/N" within a mediator tier (empty = standalone)`)
 		shardmap = fs.String("shardmap", "", `comma-separated member addresses in index order; "-" marks this process (required with -shard when N > 1)`)
+		dataDir  = fs.String("data", "", "write-ahead-log directory: escrow deposits and flags replay across restarts (empty = in-memory only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -132,6 +139,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var opts barter.MediatorShardOpts
+	opts.DataDir = *dataDir
 	// selfAddr carries this shard's bound address into the topology map: a
 	// ":0" listen would otherwise advertise an undialable port 0 as its own
 	// entry. Stored once the listener exists; until then the raw -listen

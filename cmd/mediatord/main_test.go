@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"barter"
+	"barter/internal/mediator"
+	"barter/internal/protocol"
 )
 
 func TestBadFlagErrors(t *testing.T) {
@@ -237,4 +239,95 @@ func TestShardMapAdvertisesBoundAddr(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatalf("run: %v\n%s", err, errOut.String())
 	}
+}
+
+// bootDaemon starts a mediatord in the background and waits for its bound
+// address. The caller stops it by sending on the returned signal channel
+// and then receiving from done.
+func bootDaemon(t *testing.T, args []string, out *syncBuf, sigs chan chan<- os.Signal) (addr string, done chan error) {
+	t.Helper()
+	var errOut syncBuf
+	done = make(chan error, 1)
+	go func() { done <- run(args, out, &errOut) }()
+	for i := 0; i < 250 && addr == ""; i++ {
+		if m := strings.SplitN(out.String(), "listening on ", 2); len(m) == 2 {
+			addr = strings.Fields(m[1])[0]
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("daemon never printed a bound address:\n%s", out.String())
+	}
+	return addr, done
+}
+
+// TestRestartRecoversEscrow is the process-level durability smoke test: a
+// mediatord run with -data escrows a key and is interrupted; a second
+// process over the same directory must release that key to a verifying
+// receiver with no re-deposit — the restart forgot nothing.
+func TestRestartRecoversEscrow(t *testing.T) {
+	sigs := make(chan chan<- os.Signal, 1)
+	old := notifySignals
+	notifySignals = func(ch chan<- os.Signal) { sigs <- ch }
+	defer func() { notifySignals = old }()
+
+	reg := registryDir(t) // object 1: 2048 zero bytes, one 64 KiB block
+	data := t.TempDir()
+	args := []string{"-listen", "127.0.0.1:0", "-registry", reg, "-data", data}
+
+	stop := func(t *testing.T, done chan error) {
+		t.Helper()
+		select {
+		case ch := <-sigs:
+			ch <- os.Interrupt
+		case <-time.After(5 * time.Second):
+			t.Fatal("daemon never registered a signal handler")
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exit: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("daemon did not exit on SIGINT")
+		}
+	}
+
+	const sender, receiver barter.PeerID = 2, 3
+	const obj barter.ObjectID = 1
+	var key [16]byte
+	copy(key[:], "restart-key-....")
+
+	var out1 syncBuf
+	addr, done := bootDaemon(t, args, &out1, sigs)
+	cl, err := barter.NewMedClient(barter.MedClientConfig{Transport: barter.NewTCPTransport(), Seeds: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Deposit(77, sender, obj, key); err != nil {
+		t.Fatalf("deposit: %v", err)
+	}
+	cl.Close()
+	stop(t, done)
+
+	var out2 syncBuf
+	addr, done = bootDaemon(t, args, &out2, sigs)
+	cl, err = barter.NewMedClient(barter.MedClientConfig{Transport: barter.NewTCPTransport(), Seeds: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sealed, err := mediator.Seal(key, sender, receiver, obj, 0, make([]byte, 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Verify(77, receiver, sender, obj, []protocol.Block{{Object: obj, Index: 0, Payload: sealed}})
+	if err != nil {
+		t.Fatalf("verify against the restarted daemon: %v", err)
+	}
+	if got != key {
+		t.Fatal("restarted daemon released the wrong key")
+	}
+	stop(t, done)
 }

@@ -67,10 +67,18 @@
 // nodes speak the mediated block path natively: blocks travel sealed under
 // an escrowed per-exchange key and a transfer completes only after the
 // mediator audits sample blocks and releases the key, so cheaters are
-// flagged tier-wide rather than just blacklisted locally. A shard restart
-// loses its in-memory escrow by design; the protocol distinguishes that
-// transient refusal (no honest peer is ever flagged for it) and fresh
-// sessions re-escrow, so detection converges through failures.
+// flagged tier-wide rather than just blacklisted locally. Durability is
+// layered: without a data directory a shard restart loses its in-memory
+// escrow by design — the protocol distinguishes that transient refusal (no
+// honest peer is ever flagged for it) and fresh sessions re-escrow, so
+// detection converges through failures; with MediatorShardOpts.DataDir set
+// each shard appends every deposit and flag to a per-shard write-ahead log
+// and replays it at startup, so restarts forget neither escrow nor
+// detection history, and flags replicate to the object's replica shard the
+// way deposits already write through. The tier is also elastic:
+// Cluster.AddShard and RemoveShard grow or shrink the ring live, migrating
+// only the consistent-hash arcs that moved (via handoff messages between
+// members) and bumping the shard-map epoch so clients refetch mid-run.
 //
 // The live stack scales past unit scenarios through the swarm harness
 // (internal/swarm): RunSwarm launches N real nodes plus a mediator tier
@@ -78,8 +86,10 @@
 // (with configurable per-I/O deadlines) and drives a declarative scenario —
 // flash crowd, steady mixed workload, free-rider fraction, mediator-audited
 // cheaters, churn that closes and restarts nodes mid-run hundreds of times,
-// or medfail, which kills and restarts mediator shards while mediated
-// transfers are in flight and asserts cheater detection still converges.
+// medfail, which kills and restarts mediator shards while mediated
+// transfers are in flight and asserts cheater detection still converges, or
+// reshard, which churns a durable tier with kills, restarts, and live
+// grow/shrink reshapes and asserts zero detection history is lost.
 // Results aggregate every node's Stats into the simulator's figure-shaped
 // TSV (mean download seconds per "live/<class>" series keyed by the
 // free-rider fraction), so the live network reproduces Figure 12's sharing

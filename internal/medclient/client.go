@@ -191,16 +191,44 @@ func (c *Client) dropConn(addr string, sc *shardConn) {
 	_ = sc.conn.Close()
 }
 
-// applyMap installs a fetched shard map unless a newer epoch is cached.
+// applyMap installs a fetched shard map unless a newer epoch is cached, and
+// prunes pooled connections to addresses that left the tier — an elastic
+// shrink retires shards for good, and a pooled conn to one would otherwise
+// linger until its next (failing) use.
 func (c *Client) applyMap(epoch uint64, addrs []string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if epoch < c.epoch && c.shards != nil {
+		c.mu.Unlock()
 		return
 	}
 	c.epoch = epoch
 	c.shards = append([]string(nil), addrs...)
 	c.mapStale = false
+	current := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		current[a] = true
+	}
+	var evicted []*shardConn
+	for a, sc := range c.conns {
+		if !current[a] {
+			delete(c.conns, a)
+			evicted = append(evicted, sc)
+		}
+	}
+	c.mu.Unlock()
+	// Close outside the lock: a Close can block on an in-flight RPC.
+	for _, sc := range evicted {
+		_ = sc.conn.Close()
+	}
+}
+
+// Epoch returns the topology epoch of the cached shard map — zero before
+// the first fetch. Swarm drivers compare it against the cluster's epoch to
+// confirm a client noticed a reshape.
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
 }
 
 // Map returns the cached shard map, fetching it first if needed.

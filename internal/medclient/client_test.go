@@ -304,3 +304,75 @@ func TestConcurrentOps(t *testing.T) {
 
 // coreid shortens the PeerID conversions above.
 func coreid(i int) core.PeerID { return core.PeerID(i) }
+
+// TestElasticReshapeRefreshesMapMidRun resizes the tier under a running
+// client: the epoch-invalidation path must pick up each new map (redirects
+// carry the fresh epoch), operations must keep landing on the owning
+// shards, and a shrink must also prune the pooled connection to the
+// retired shard.
+func TestElasticReshapeRefreshesMapMidRun(t *testing.T) {
+	tr := transport.NewMem()
+	content := []byte("elastic-content")
+	digest := sha256.Sum256(content)
+	oracle := func(o catalog.ObjectID) ([][32]byte, bool) { return [][32]byte{digest}, true }
+	cl, err := mediator.NewCluster(tr, []string{"mem://el-0", "mem://el-1"}, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c, err := New(Config{Transport: tr, Seeds: cl.Addrs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	run := func(base int) {
+		t.Helper()
+		for i := 0; i < 16; i++ {
+			obj := catalog.ObjectID(base + i)
+			ex := uint64(base + i)
+			sender := coreid(base + i)
+			var key [16]byte
+			key[0], key[1] = byte(base), byte(i)
+			if err := c.Deposit(ex, sender, obj, key); err != nil {
+				t.Fatalf("deposit %d: %v", obj, err)
+			}
+			sealed, err := mediator.Seal(key, sender, sender+1, obj, 0, content)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Verify(ex, sender+1, sender, obj, []protocol.Block{{Object: obj, Index: 0, Payload: sealed}})
+			if err != nil {
+				t.Fatalf("verify %d: %v", obj, err)
+			}
+			if got != key {
+				t.Fatalf("verify %d released the wrong key", obj)
+			}
+		}
+	}
+
+	run(100) // prime the map and the conn pool at 2 shards
+
+	if err := cl.AddShard("mem://el-2"); err != nil {
+		t.Fatal(err)
+	}
+	run(200) // new arcs exist only on shard 2; stale-map redirects must heal
+	if got, want := c.Epoch(), cl.Epoch(); got != want {
+		t.Fatalf("client epoch %d after grow, cluster at %d", got, want)
+	}
+
+	removed := cl.Addrs()[2]
+	if err := cl.RemoveShard(); err != nil {
+		t.Fatal(err)
+	}
+	run(300)
+	if got, want := c.Epoch(), cl.Epoch(); got != want {
+		t.Fatalf("client epoch %d after shrink, cluster at %d", got, want)
+	}
+	c.mu.Lock()
+	_, pooled := c.conns[removed]
+	c.mu.Unlock()
+	if pooled {
+		t.Fatalf("pooled connection to retired shard %s not pruned", removed)
+	}
+}

@@ -3,22 +3,32 @@ package mediator
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"barter/internal/core"
+	"barter/internal/protocol"
 	"barter/internal/transport"
 )
 
 // Cluster runs N mediator shards over one transport, partitioned by
 // consistent hashing over object ID (see ShardFor). Every member serves the
 // shared topology map, so a client bootstrapped with any one shard address
-// can discover the rest and be redirected on misroute. Shards hold their
-// escrow and flagged-peer state in memory only: killing a shard loses it,
-// exactly the failure the node-side client layer must absorb by retrying
-// and failing over.
+// can discover the rest and be redirected on misroute. By default shards
+// hold their escrow and flagged-peer state in memory only — killing a shard
+// loses it, exactly the failure the node-side client layer must absorb by
+// retrying and failing over. With a DataDir every shard keeps a write-ahead
+// log instead, so RestartShard recovers the full detection history; and the
+// tier is elastic — AddShard and RemoveShard resize the ring at runtime,
+// bumping the epoch and migrating only the consistent-hash arcs that moved.
 type Cluster struct {
-	tr     transport.Transport
-	oracle DigestOracle
+	tr      transport.Transport
+	oracle  DigestOracle
+	dataDir string
+
+	// reshapeMu serializes topology changes — restarts, grows, shrinks —
+	// so two reshapes never interleave their state migrations.
+	reshapeMu sync.Mutex
 
 	mu     sync.Mutex
 	epoch  uint64
@@ -27,10 +37,22 @@ type Cluster struct {
 	shards []*Mediator // nil while a shard is down
 }
 
+// ClusterOpts tune a mediator tier beyond its address list.
+type ClusterOpts struct {
+	// DataDir, when non-empty, gives every shard a write-ahead log under
+	// it (see ShardOpts.DataDir), so kills and restarts forget nothing.
+	DataDir string
+}
+
 // NewCluster starts one mediator shard per listen address, all sharing the
-// oracle. The address list fixes the tier size; restarts keep each shard's
-// index.
+// oracle. Restarts keep each shard's index; AddShard and RemoveShard resize
+// the tier at runtime.
 func NewCluster(tr transport.Transport, addrs []string, oracle DigestOracle) (*Cluster, error) {
+	return NewClusterOpts(tr, addrs, oracle, ClusterOpts{})
+}
+
+// NewClusterOpts is NewCluster with tuning options.
+func NewClusterOpts(tr transport.Transport, addrs []string, oracle DigestOracle, opts ClusterOpts) (*Cluster, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("mediator: cluster needs at least one shard address")
 	}
@@ -38,11 +60,12 @@ func NewCluster(tr transport.Transport, addrs []string, oracle DigestOracle) (*C
 		return nil, errors.New("mediator: digest oracle is required")
 	}
 	c := &Cluster{
-		tr:     tr,
-		oracle: oracle,
-		addrs:  append([]string(nil), addrs...),
-		live:   make([]string, len(addrs)),
-		shards: make([]*Mediator, len(addrs)),
+		tr:      tr,
+		oracle:  oracle,
+		dataDir: opts.DataDir,
+		addrs:   append([]string(nil), addrs...),
+		live:    make([]string, len(addrs)),
+		shards:  make([]*Mediator, len(addrs)),
 	}
 	for i := range addrs {
 		if err := c.startShard(i); err != nil {
@@ -62,15 +85,30 @@ func (c *Cluster) snapshot() (uint64, []string) {
 }
 
 func (c *Cluster) startShard(i int) error {
-	med, err := NewShard(c.tr, c.addrs[i], c.oracle, ShardOpts{
-		Index: i,
-		Count: len(c.addrs),
-		Map:   c.snapshot,
+	c.mu.Lock()
+	if i < 0 || i >= len(c.addrs) {
+		c.mu.Unlock()
+		return fmt.Errorf("mediator: shard %d out of range", i)
+	}
+	addr := c.addrs[i]
+	count := len(c.addrs)
+	c.mu.Unlock()
+	med, err := NewShard(c.tr, addr, c.oracle, ShardOpts{
+		Index:   i,
+		Count:   count,
+		Map:     c.snapshot,
+		DataDir: c.dataDir,
 	})
 	if err != nil {
 		return err
 	}
 	c.mu.Lock()
+	if i >= len(c.shards) {
+		// The tier shrank past this index while the shard was starting.
+		c.mu.Unlock()
+		med.Close()
+		return fmt.Errorf("mediator: shard %d removed during start", i)
+	}
 	c.shards[i] = med
 	c.live[i] = med.Addr()
 	c.epoch++
@@ -78,10 +116,15 @@ func (c *Cluster) startShard(i int) error {
 	return nil
 }
 
-// Shards returns the tier size.
-func (c *Cluster) Shards() int { return len(c.addrs) }
+// Shards returns the current tier size.
+func (c *Cluster) Shards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.addrs)
+}
 
-// Epoch returns the topology version; it bumps on every shard (re)start.
+// Epoch returns the topology version; it bumps on every shard (re)start and
+// every resize.
 func (c *Cluster) Epoch() uint64 {
 	e, _ := c.snapshot()
 	return e
@@ -94,17 +137,26 @@ func (c *Cluster) Addrs() []string {
 	return a
 }
 
-// Shard returns the live mediator at index i, or nil while it is down.
+// Shard returns the live mediator at index i, or nil while it is down or
+// after the tier shrank past it.
 func (c *Cluster) Shard(i int) *Mediator {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.shards) {
+		return nil
+	}
 	return c.shards[i]
 }
 
-// KillShard stops shard i abruptly, as a crash would: its escrowed keys and
-// flag counts are gone. It is a no-op on an already-down shard.
+// KillShard stops shard i abruptly, as a crash would: its in-memory escrow
+// and flag counts are gone, though a DataDir-backed shard left its log
+// behind for the next restart. It is a no-op on an already-down shard.
 func (c *Cluster) KillShard(i int) {
 	c.mu.Lock()
+	if i < 0 || i >= len(c.shards) {
+		c.mu.Unlock()
+		return
+	}
 	med := c.shards[i]
 	c.shards[i] = nil
 	c.mu.Unlock()
@@ -117,15 +169,238 @@ func (c *Cluster) KillShard(i int) {
 
 // RestartShard brings shard i back — on the same name for in-memory
 // transports, on a fresh port for TCP ":0" listens — and bumps the epoch so
-// clients notice the topology changed.
+// clients notice the topology changed. With a DataDir the shard replays its
+// log and remembers every deposit and flag it held.
 func (c *Cluster) RestartShard(i int) error {
+	c.reshapeMu.Lock()
+	defer c.reshapeMu.Unlock()
+	c.mu.Lock()
+	n := len(c.addrs)
+	c.mu.Unlock()
+	if i < 0 || i >= n {
+		return fmt.Errorf("mediator: shard %d out of range", i)
+	}
 	c.KillShard(i)
 	return c.startShard(i)
 }
 
-// Flagged sums how many times the live shards caught peer cheating. Flags
-// on a killed shard are lost with it; detection converges because audits
-// retry until the verdict lands on a living shard.
+// AddShard grows the tier by one shard listening on addr: the epoch bumps so
+// clients refetch the map, and every deposit whose consistent-hash arc the
+// new shard now owns is handed off from the members that held it. Sources
+// keep their copies — stale entries are unreachable once ownership moves,
+// and harmless. Flags stay where they are: Flagged sums the whole tier.
+func (c *Cluster) AddShard(addr string) error {
+	c.reshapeMu.Lock()
+	defer c.reshapeMu.Unlock()
+
+	c.mu.Lock()
+	newIdx := len(c.addrs)
+	c.mu.Unlock()
+
+	// A shard previously removed at this index must not resurrect its log.
+	if c.dataDir != "" {
+		_ = os.Remove(walPath(c.dataDir, newIdx))
+	}
+	med, err := NewShard(c.tr, addr, c.oracle, ShardOpts{
+		Index:   newIdx,
+		Count:   newIdx + 1,
+		Map:     c.snapshot,
+		DataDir: c.dataDir,
+	})
+	if err != nil {
+		return fmt.Errorf("mediator: add shard %d: %w", newIdx, err)
+	}
+
+	c.mu.Lock()
+	c.addrs = append(c.addrs, addr)
+	c.live = append(c.live, med.Addr())
+	c.shards = append(c.shards, med)
+	c.epoch++
+	count := len(c.addrs)
+	sources := append([]*Mediator(nil), c.shards[:newIdx]...)
+	c.mu.Unlock()
+
+	// Migrate the arcs that moved. A down source contributes from its log,
+	// if there is one; otherwise its entries rely on re-escrow convergence,
+	// same as before the handoff existed.
+	var moved []protocol.MedDepositRecord
+	for i, src := range sources {
+		for _, d := range c.sourceDeposits(i, src) {
+			p, r := ShardFor(d.Object, count)
+			if p == newIdx || r == newIdx {
+				moved = append(moved, d)
+			}
+		}
+	}
+	return c.deliver(uint32(newIdx), newIdx, moved, nil)
+}
+
+// RemoveShard shrinks the tier by retiring its last shard, migrating every
+// deposit it held to the owners under the shrunk ring and its flags to a
+// surviving member. Only the highest index can leave: survivors' ring points
+// are a pure function of (index, count), so retiring the tail moves only the
+// departing shard's arcs.
+func (c *Cluster) RemoveShard() error {
+	c.reshapeMu.Lock()
+	defer c.reshapeMu.Unlock()
+
+	c.mu.Lock()
+	if len(c.addrs) <= 1 {
+		c.mu.Unlock()
+		return errors.New("mediator: cannot remove the last shard")
+	}
+	idx := len(c.addrs) - 1
+	med := c.shards[idx]
+	c.addrs = c.addrs[:idx]
+	c.live = c.live[:idx]
+	c.shards = c.shards[:idx]
+	c.epoch++
+	count := len(c.addrs)
+	c.mu.Unlock()
+
+	// Extract the departing shard's state — live export, or log replay if
+	// it is down — then retire both the shard and its log.
+	deposits, flags := c.sourceState(idx, med)
+	if med != nil {
+		med.Close()
+	}
+	if c.dataDir != "" {
+		_ = os.Remove(walPath(c.dataDir, idx))
+	}
+
+	// Deposits go to both owners under the shrunk ring; flags go to the
+	// first member that takes them — which shard holds a flag is
+	// irrelevant, Flagged sums the tier.
+	perTarget := make(map[int][]protocol.MedDepositRecord)
+	for _, d := range deposits {
+		p, r := ShardFor(d.Object, count)
+		perTarget[p] = append(perTarget[p], d)
+		if r != p {
+			perTarget[r] = append(perTarget[r], d)
+		}
+	}
+	var firstErr error
+	flagsSent := len(flags) == 0
+	for t := 0; t < count; t++ {
+		var fl []protocol.MedFlagRecord
+		if !flagsSent {
+			fl = flags
+		}
+		if len(perTarget[t]) == 0 && len(fl) == 0 {
+			continue
+		}
+		if err := c.deliver(uint32(idx), t, perTarget[t], fl); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		flagsSent = true
+	}
+	if !flagsSent && firstErr == nil {
+		firstErr = errors.New("mediator: no member accepted the retired shard's flags")
+	}
+	return firstErr
+}
+
+// sourceDeposits snapshots shard i's deposits for migration: from the live
+// mediator, or from its log when it is down.
+func (c *Cluster) sourceDeposits(i int, med *Mediator) []protocol.MedDepositRecord {
+	deposits, _ := c.sourceState(i, med)
+	return deposits
+}
+
+func (c *Cluster) sourceState(i int, med *Mediator) ([]protocol.MedDepositRecord, []protocol.MedFlagRecord) {
+	if med != nil {
+		return med.exportState()
+	}
+	if c.dataDir == "" {
+		return nil, nil
+	}
+	walDeps, walFlags, err := readWALState(walPath(c.dataDir, i))
+	if err != nil {
+		return nil, nil
+	}
+	deposits := make([]protocol.MedDepositRecord, 0, len(walDeps))
+	for _, d := range walDeps {
+		deposits = append(deposits, protocol.MedDepositRecord{
+			ExchangeID: d.exchange, Sender: d.sender, Object: d.object, Key: d.key,
+		})
+	}
+	flags := make([]protocol.MedFlagRecord, 0, len(walFlags))
+	for p, n := range walFlags {
+		if n > 0 {
+			flags = append(flags, protocol.MedFlagRecord{Peer: p, Count: n})
+		}
+	}
+	return deposits, flags
+}
+
+// deliver hands records to shard t: over the wire when it is live, straight
+// into its log when it is down (reshapeMu holds restarts off meanwhile, so
+// the shard replays the records on its next start).
+func (c *Cluster) deliver(from uint32, t int, deposits []protocol.MedDepositRecord, flags []protocol.MedFlagRecord) error {
+	if len(deposits) == 0 && len(flags) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	var med *Mediator
+	var addr string
+	if t >= 0 && t < len(c.shards) {
+		med = c.shards[t]
+		addr = c.live[t]
+	}
+	c.mu.Unlock()
+	if med != nil {
+		return c.sendHandoff(from, addr, deposits, flags)
+	}
+	if c.dataDir == "" {
+		return fmt.Errorf("mediator: shard %d is down, migrated state dropped", t)
+	}
+	w, err := openWAL(walPath(c.dataDir, t), nil, nil)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	for _, d := range deposits {
+		w.appendDeposit(walDeposit{exchange: d.ExchangeID, sender: d.Sender, object: d.Object, key: d.Key})
+	}
+	for _, f := range flags {
+		w.appendFlag(f.Peer, f.Count)
+	}
+	return nil
+}
+
+// sendHandoff pushes records to addr in bounded chunks, waiting for each
+// acknowledgement so the handoff is durable on the receiver before the
+// reshape returns.
+func (c *Cluster) sendHandoff(from uint32, addr string, deposits []protocol.MedDepositRecord, flags []protocol.MedFlagRecord) error {
+	conn, err := c.tr.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close() //nolint:errcheck // teardown
+	epoch, _ := c.snapshot()
+	const chunk = 1024
+	for len(deposits) > 0 || len(flags) > 0 {
+		msg := &protocol.MedHandoff{From: from, Epoch: epoch}
+		n := min(len(deposits), chunk)
+		msg.Deposits, deposits = deposits[:n], deposits[n:]
+		n = min(len(flags), chunk)
+		msg.Flags, flags = flags[:n], flags[n:]
+		if err := conn.Send(msg); err != nil {
+			return err
+		}
+		if _, err := conn.Recv(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flagged sums how many times the tier's live shards caught peer cheating.
+// Write-through replication may count one verdict on both owners; consumers
+// only ask whether the sum is nonzero.
 func (c *Cluster) Flagged(p core.PeerID) int {
 	c.mu.Lock()
 	shards := append([]*Mediator(nil), c.shards...)
@@ -141,7 +416,10 @@ func (c *Cluster) Flagged(p core.PeerID) int {
 
 // Close stops every shard.
 func (c *Cluster) Close() {
-	for i := range c.addrs {
+	c.mu.Lock()
+	n := len(c.shards)
+	c.mu.Unlock()
+	for i := 0; i < n; i++ {
 		c.KillShard(i)
 	}
 }

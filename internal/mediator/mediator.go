@@ -6,6 +6,30 @@
 // random sample of blocks before releasing the keys — to the peers named in
 // the control headers, so a middleman who peddled someone else's blocks
 // gains nothing.
+//
+// # Durability
+//
+// By default a shard's escrow and flagged-peer state live in memory and die
+// with it: a restarted shard refuses unknown keys with a transient no-key
+// code (never flagging anyone) and sessions re-escrow. With
+// ShardOpts.DataDir set, the shard instead appends every accepted deposit
+// and every flag to a per-shard write-ahead log (shard-<index>.wal, CRC-32
+// framed, torn tails truncated on open) and replays it in NewShard, so a
+// restart — of one shard or the whole tier — recovers both in-flight
+// escrow and the full detection history. Writes are buffered through the
+// OS without fsync: the log targets process restarts, not power loss.
+// Flags additionally replicate to the object's replica shard the way
+// deposits already write through, so losing the auditing shard does not
+// lose the only copy of who cheated.
+//
+// # Elasticity
+//
+// Cluster.AddShard and Cluster.RemoveShard grow and shrink the ring live.
+// Consistent hashing keeps survivor arcs stable (vnodes of the remaining
+// shards never move), so a reshape migrates only the arcs adjacent to the
+// joining or leaving member, carried by MedHandoff/MedHandoffAck messages
+// between shards. Each reshape bumps the shard-map epoch; medclient's
+// existing epoch invalidation makes every client refetch the map mid-run.
 package mediator
 
 import (
@@ -15,6 +39,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"barter/internal/catalog"
@@ -98,12 +123,19 @@ type DigestOracle func(catalog.ObjectID) ([][32]byte, bool)
 // ShardOpts position a mediator as one member of a sharded tier.
 type ShardOpts struct {
 	// Index and Count place this mediator on the consistent-hash ring;
-	// Count <= 1 means a standalone mediator that owns every object.
+	// Count <= 1 means a standalone mediator that owns every object. Count
+	// is only the boot-time size: when Map is set, the tier size is read
+	// from it on every ownership decision, so an elastic cluster can grow
+	// or shrink under a running shard.
 	Index, Count int
 	// Map supplies the current cluster topology — epoch plus the dialable
 	// address of every shard by index — for MedShardMapReq replies and
 	// redirects. Required when Count > 1.
 	Map func() (epoch uint64, addrs []string)
+	// DataDir, when non-empty, enables the write-ahead log: deposits and
+	// flags are appended to <DataDir>/shard-<Index>.wal and replayed on
+	// the next NewShard at the same index, so a restart forgets nothing.
+	DataDir string
 }
 
 // Mediator is the trusted audit-and-escrow service: one standalone process,
@@ -113,11 +145,13 @@ type ShardOpts struct {
 type Mediator struct {
 	oracle DigestOracle
 	shard  ShardOpts
+	tr     transport.Transport
 	ln     transport.Listener
 
 	mu       sync.Mutex
-	deposits map[depositKey][16]byte
+	deposits map[depositKey]escrow
 	flagged  map[core.PeerID]int // peers caught cheating, with counts
+	wal      *wal                // nil without a DataDir
 
 	// connMu guards the open-connection set so Close can tear down every
 	// serve goroutine: a blocked Recv on an idle client would otherwise keep
@@ -133,6 +167,13 @@ type Mediator struct {
 type depositKey struct {
 	exchange uint64
 	sender   core.PeerID
+}
+
+// escrow is one deposited key plus the object it unlocks — the object is
+// what routes the entry during arc migration and flag replication.
+type escrow struct {
+	key    [16]byte
+	object catalog.ObjectID
 }
 
 // New starts a standalone mediator listening on addr.
@@ -153,31 +194,70 @@ func NewShard(tr transport.Transport, addr string, oracle DigestOracle, shard Sh
 			return nil, errors.New("mediator: sharded tiers need a topology Map")
 		}
 	}
-	ln, err := tr.Listen(addr)
-	if err != nil {
-		return nil, err
-	}
 	m := &Mediator{
 		oracle:   oracle,
 		shard:    shard,
-		ln:       ln,
-		deposits: make(map[depositKey][16]byte),
+		tr:       tr,
+		deposits: make(map[depositKey]escrow),
 		flagged:  make(map[core.PeerID]int),
 		conns:    make(map[transport.Conn]struct{}),
 		stop:     make(chan struct{}),
 	}
+	if shard.DataDir != "" {
+		if err := os.MkdirAll(shard.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("mediator: data dir: %w", err)
+		}
+		w, err := openWAL(walPath(shard.DataDir, shard.Index),
+			func(d walDeposit) {
+				m.deposits[depositKey{exchange: d.exchange, sender: d.sender}] = escrow{key: d.key, object: d.object}
+			},
+			func(p core.PeerID, n uint32) { m.flagged[p] += int(n) },
+		)
+		if err != nil {
+			return nil, fmt.Errorf("mediator: write-ahead log: %w", err)
+		}
+		m.wal = w
+	}
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		m.wal.Close()
+		return nil, err
+	}
+	m.ln = ln
 	m.wg.Add(1)
 	go m.acceptLoop()
 	return m, nil
 }
 
+// tierCount is the current tier size: read from the topology Map when one
+// is wired (elastic clusters resize under running shards), the boot-time
+// Count otherwise.
+func (m *Mediator) tierCount() int {
+	n := m.shard.Count
+	if m.shard.Map != nil {
+		if _, addrs := m.shard.Map(); len(addrs) > 0 {
+			n = len(addrs)
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // owns reports whether this shard's partition covers obj, either as its
-// primary or as the replica clients fail over to.
+// primary or as the replica clients fail over to. A shard whose index has
+// fallen off the tier (removed by an elastic shrink) owns nothing and
+// redirects everything.
 func (m *Mediator) owns(obj catalog.ObjectID) bool {
-	if m.shard.Count <= 1 {
+	count := m.tierCount()
+	if m.shard.Index >= count {
+		return false
+	}
+	if count <= 1 {
 		return true
 	}
-	primary, replica := ShardFor(obj, m.shard.Count)
+	primary, replica := ShardFor(obj, count)
 	return primary == m.shard.Index || replica == m.shard.Index
 }
 
@@ -192,7 +272,7 @@ func (m *Mediator) shardMap() (uint64, []string) {
 
 // redirect answers a misrouted request with the owning shard's coordinates.
 func (m *Mediator) redirect(conn transport.Conn, obj catalog.ObjectID) {
-	primary, _ := ShardFor(obj, m.shard.Count)
+	primary, _ := ShardFor(obj, m.tierCount())
 	epoch, addrs := m.shardMap()
 	addr := ""
 	if primary < len(addrs) {
@@ -225,6 +305,7 @@ func (m *Mediator) Close() {
 		_ = c.Close()
 	}
 	m.wg.Wait()
+	m.wal.Close()
 }
 
 // track registers an open connection; it refuses once Close has begun so a
@@ -304,11 +385,16 @@ func (m *Mediator) serve(conn transport.Conn) {
 				continue
 			}
 			m.mu.Lock()
-			m.deposits[depositKey{exchange: req.ExchangeID, sender: req.Sender}] = req.Key
+			m.deposits[depositKey{exchange: req.ExchangeID, sender: req.Sender}] = escrow{key: req.Key, object: req.Object}
+			if m.wal != nil {
+				m.wal.appendDeposit(walDeposit{exchange: req.ExchangeID, sender: req.Sender, object: req.Object, key: req.Key})
+			}
 			m.mu.Unlock()
 			// Echo as the deposit acknowledgement so clients can treat
 			// escrow as synchronous.
 			_ = conn.Send(&protocol.MedKey{ExchangeID: req.ExchangeID, Key: req.Key})
+		case *protocol.MedHandoff:
+			m.handleHandoff(conn, req)
 		case *protocol.MedVerify:
 			if !m.owns(req.Object) {
 				m.redirect(conn, req.Object)
@@ -345,7 +431,13 @@ func (m *Mediator) handleVerify(conn transport.Conn, req *protocol.MedVerify) {
 	reject := func(reason string) {
 		m.mu.Lock()
 		m.flagged[req.Sender]++
+		if m.wal != nil {
+			m.wal.appendFlag(req.Sender, 1)
+		}
 		m.mu.Unlock()
+		// Replicate the verdict to the object's other owner the way
+		// deposits write through, so losing this shard loses no history.
+		m.replicateFlag(req.Object, req.Sender)
 		_ = conn.Send(&protocol.MedReject{ExchangeID: req.ExchangeID, Code: protocol.MedRejectAudit, Reason: reason})
 	}
 	// refuse is for faults attributable to the requester or to this
@@ -355,8 +447,9 @@ func (m *Mediator) handleVerify(conn transport.Conn, req *protocol.MedVerify) {
 		_ = conn.Send(&protocol.MedReject{ExchangeID: req.ExchangeID, Code: code, Reason: reason})
 	}
 	m.mu.Lock()
-	key, ok := m.deposits[depositKey{exchange: req.ExchangeID, sender: req.Sender}]
+	dep, ok := m.deposits[depositKey{exchange: req.ExchangeID, sender: req.Sender}]
 	m.mu.Unlock()
+	key := dep.key
 	if !ok {
 		// Not proof of cheating: the deposit may simply not have arrived
 		// yet, or this shard restarted and lost its escrow. Refuse without
@@ -399,6 +492,117 @@ func (m *Mediator) handleVerify(conn transport.Conn, req *protocol.MedVerify) {
 		}
 	}
 	_ = conn.Send(&protocol.MedKey{ExchangeID: req.ExchangeID, Key: key})
+}
+
+// handleHandoff merges state pushed by a sibling shard — arc migration
+// during an elastic reshape, or a single flag written through by the
+// object's other owner. Deposits insert only if absent (the receiver may
+// already hold a write-through copy); flag counts add. Merged state goes to
+// the WAL like native state, and never re-replicates — that would bounce
+// between the two owners forever.
+func (m *Mediator) handleHandoff(conn transport.Conn, req *protocol.MedHandoff) {
+	var nd, nf uint32
+	m.mu.Lock()
+	for _, d := range req.Deposits {
+		k := depositKey{exchange: d.ExchangeID, sender: d.Sender}
+		if _, ok := m.deposits[k]; ok {
+			continue
+		}
+		m.deposits[k] = escrow{key: d.Key, object: d.Object}
+		if m.wal != nil {
+			m.wal.appendDeposit(walDeposit{exchange: d.ExchangeID, sender: d.Sender, object: d.Object, key: d.Key})
+		}
+		nd++
+	}
+	for _, f := range req.Flags {
+		if f.Count == 0 {
+			continue
+		}
+		m.flagged[f.Peer] += int(f.Count)
+		if m.wal != nil {
+			m.wal.appendFlag(f.Peer, f.Count)
+		}
+		nf++
+	}
+	m.mu.Unlock()
+	_ = conn.Send(&protocol.MedHandoffAck{Deposits: nd, Flags: nf})
+}
+
+// replicateFlag pushes one flag verdict to obj's other owner (the replica if
+// this shard is the primary, the primary if this shard is the replica), so a
+// single shard loss cannot erase detection history. Best-effort and
+// asynchronous: the audit reply never waits on a sibling, and double counts
+// are harmless — consumers only ask whether a peer was flagged at all.
+func (m *Mediator) replicateFlag(obj catalog.ObjectID, peer core.PeerID) {
+	if m.shard.Map == nil {
+		return
+	}
+	count := m.tierCount()
+	if count <= 1 {
+		return
+	}
+	primary, replica := ShardFor(obj, count)
+	if primary == replica {
+		return
+	}
+	var target int
+	switch m.shard.Index {
+	case primary:
+		target = replica
+	case replica:
+		target = primary
+	default:
+		return
+	}
+	epoch, addrs := m.shard.Map()
+	if target >= len(addrs) || addrs[target] == "" {
+		return
+	}
+	addr := addrs[target]
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		conn, err := m.tr.Dial(addr)
+		if err != nil {
+			return
+		}
+		// Track the outbound conn like an inbound one so Close can unblock
+		// the ack read during teardown.
+		if !m.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		defer m.untrack(conn)
+		defer conn.Close() //nolint:errcheck // teardown
+		if err := conn.Send(&protocol.MedHandoff{
+			From:  uint32(m.shard.Index),
+			Epoch: epoch,
+			Flags: []protocol.MedFlagRecord{{Peer: peer, Count: 1}},
+		}); err != nil {
+			return
+		}
+		_, _ = conn.Recv() // best-effort ack
+	}()
+}
+
+// exportState snapshots every deposit and flag this shard holds, in the wire
+// form arc migration hands between shards.
+func (m *Mediator) exportState() ([]protocol.MedDepositRecord, []protocol.MedFlagRecord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	deposits := make([]protocol.MedDepositRecord, 0, len(m.deposits))
+	for k, e := range m.deposits {
+		deposits = append(deposits, protocol.MedDepositRecord{
+			ExchangeID: k.exchange, Sender: k.sender, Object: e.object, Key: e.key,
+		})
+	}
+	flags := make([]protocol.MedFlagRecord, 0, len(m.flagged))
+	for p, n := range m.flagged {
+		if n > 0 {
+			flags = append(flags, protocol.MedFlagRecord{Peer: p, Count: uint32(n)})
+		}
+	}
+	return deposits, flags
 }
 
 // oversizedVerify applies the audit limits at the read path, before any

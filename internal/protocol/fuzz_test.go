@@ -46,6 +46,13 @@ func corpusMessages() []Message {
 			{Index: 1, Addr: "mem://med-1"},
 		}},
 		&MedRedirect{Object: 5, Shard: 1, Addr: "mem://med-1", Epoch: 4},
+		&MedHandoff{From: 1, Epoch: 5, Deposits: []MedDepositRecord{
+			{ExchangeID: 3, Sender: 1, Object: 5, Key: [16]byte{9}},
+			{ExchangeID: 4, Sender: 2, Object: 6, Key: [16]byte{8, 7}},
+		}, Flags: []MedFlagRecord{
+			{Peer: 2, Count: 3},
+		}},
+		&MedHandoffAck{Deposits: 2, Flags: 1},
 	}
 }
 

@@ -44,6 +44,8 @@ const (
 	TypeMedShardMapReq
 	TypeMedShardMap
 	TypeMedRedirect
+	TypeMedHandoff
+	TypeMedHandoffAck
 )
 
 // Message is one decodable wire message.
@@ -235,6 +237,41 @@ type MedRedirect struct {
 	Epoch  uint64
 }
 
+// MedDepositRecord is one escrow entry inside a MedHandoff: the same fields
+// a MedDeposit carries, batched for shard-to-shard state transfer.
+type MedDepositRecord struct {
+	ExchangeID uint64
+	Sender     core.PeerID
+	Object     catalog.ObjectID
+	Key        [16]byte
+}
+
+// MedFlagRecord is one flagged-peer entry inside a MedHandoff.
+type MedFlagRecord struct {
+	Peer  core.PeerID
+	Count uint32
+}
+
+// MedHandoff transfers mediator state between shards: escrowed deposits and
+// flagged-peer counts. It is sent when the tier reshards (the arcs adjacent
+// to an added or removed shard migrate to their new owners) and when a shard
+// replicates a fresh flag to the object's other owner. From names the
+// sending shard; Epoch is the topology version the transfer belongs to.
+// Receivers merge: deposits insert if absent, flag counts add.
+type MedHandoff struct {
+	From     uint32
+	Epoch    uint64
+	Deposits []MedDepositRecord
+	Flags    []MedFlagRecord
+}
+
+// MedHandoffAck confirms a MedHandoff, echoing how many records of each kind
+// the receiver merged (already-present deposits count as merged).
+type MedHandoffAck struct {
+	Deposits uint32
+	Flags    uint32
+}
+
 // Tree is the wire form of a request tree (core.Tree flattened).
 type Tree struct {
 	Root  core.PeerID
@@ -307,6 +344,8 @@ var (
 	_ Message = (*MedShardMapReq)(nil)
 	_ Message = (*MedShardMap)(nil)
 	_ Message = (*MedRedirect)(nil)
+	_ Message = (*MedHandoff)(nil)
+	_ Message = (*MedHandoffAck)(nil)
 )
 
 // Type implementations.
@@ -328,6 +367,8 @@ func (*MedReject) Type() Type      { return TypeMedReject }
 func (*MedShardMapReq) Type() Type { return TypeMedShardMapReq }
 func (*MedShardMap) Type() Type    { return TypeMedShardMap }
 func (*MedRedirect) Type() Type    { return TypeMedRedirect }
+func (*MedHandoff) Type() Type     { return TypeMedHandoff }
+func (*MedHandoffAck) Type() Type  { return TypeMedHandoffAck }
 
 // New returns a zero message of the given wire type.
 func New(t Type) (Message, error) {
@@ -368,6 +409,10 @@ func New(t Type) (Message, error) {
 		return &MedShardMap{}, nil
 	case TypeMedRedirect:
 		return &MedRedirect{}, nil
+	case TypeMedHandoff:
+		return &MedHandoff{}, nil
+	case TypeMedHandoffAck:
+		return &MedHandoffAck{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}
@@ -807,6 +852,65 @@ func (m *MedShardMap) decode(r *reader) error {
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Shards = append(m.Shards, MedShardEntry{Index: r.u32(), Addr: r.str()})
 	}
+	return r.err
+}
+
+func (m *MedHandoff) encode(w *writer) {
+	w.u32(m.From)
+	w.u64(m.Epoch)
+	w.u32(uint32(len(m.Deposits)))
+	for _, d := range m.Deposits {
+		w.u64(d.ExchangeID)
+		w.i32(int32(d.Sender))
+		w.i32(int32(d.Object))
+		w.buf.Write(d.Key[:])
+	}
+	w.u32(uint32(len(m.Flags)))
+	for _, f := range m.Flags {
+		w.i32(int32(f.Peer))
+		w.u32(f.Count)
+	}
+}
+func (m *MedHandoff) decode(r *reader) error {
+	m.From = r.u32()
+	m.Epoch = r.u64()
+	nd := r.count(int(r.u32()), MaxFrame/32, 32) // 8+4+4+16 bytes per deposit
+	if r.err != nil {
+		return r.err
+	}
+	m.Deposits = make([]MedDepositRecord, 0, nd)
+	for i := 0; i < nd && r.err == nil; i++ {
+		d := MedDepositRecord{
+			ExchangeID: r.u64(),
+			Sender:     core.PeerID(r.i32()),
+			Object:     catalog.ObjectID(r.i32()),
+		}
+		if b := r.take(16); b != nil {
+			copy(d.Key[:], b)
+		}
+		m.Deposits = append(m.Deposits, d)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	nf := r.count(int(r.u32()), MaxFrame/8, 8) // 4+4 bytes per flag
+	if r.err != nil {
+		return r.err
+	}
+	m.Flags = make([]MedFlagRecord, 0, nf)
+	for i := 0; i < nf && r.err == nil; i++ {
+		m.Flags = append(m.Flags, MedFlagRecord{Peer: core.PeerID(r.i32()), Count: r.u32()})
+	}
+	return r.err
+}
+
+func (m *MedHandoffAck) encode(w *writer) {
+	w.u32(m.Deposits)
+	w.u32(m.Flags)
+}
+func (m *MedHandoffAck) decode(r *reader) error {
+	m.Deposits = r.u32()
+	m.Flags = r.u32()
 	return r.err
 }
 

@@ -60,6 +60,14 @@ func TestRoundTripAllTypes(t *testing.T) {
 			{Index: 2, Addr: "mem://med-2"},
 		}},
 		&MedRedirect{Object: 5, Shard: 2, Addr: "mem://med-2", Epoch: 5},
+		&MedHandoff{From: 1, Epoch: 6, Deposits: []MedDepositRecord{
+			{ExchangeID: 8, Sender: 1, Object: 5, Key: [16]byte{9, 9}},
+			{ExchangeID: 9, Sender: 2, Object: 6, Key: [16]byte{1, 2, 3}},
+		}, Flags: []MedFlagRecord{
+			{Peer: 3, Count: 2},
+			{Peer: 4, Count: 1},
+		}},
+		&MedHandoffAck{Deposits: 2, Flags: 1},
 	}
 	for _, msg := range msgs {
 		got := roundTrip(t, msg)
@@ -78,6 +86,10 @@ func TestRoundTripEmptyPayloads(t *testing.T) {
 	tr := roundTrip(t, &Request{Object: 1, Tree: Tree{Root: 2}})
 	if req, ok := tr.(*Request); !ok || len(req.Tree.Nodes) != 0 {
 		t.Fatalf("empty tree round trip: %+v", tr)
+	}
+	ho := roundTrip(t, &MedHandoff{From: 1, Epoch: 7})
+	if h, ok := ho.(*MedHandoff); !ok || h.From != 1 || h.Epoch != 7 || len(h.Deposits) != 0 || len(h.Flags) != 0 {
+		t.Fatalf("empty handoff round trip: %+v", ho)
 	}
 }
 

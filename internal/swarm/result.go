@@ -58,6 +58,12 @@ type Result struct {
 	// kill/restart cycles the medfail scenario performed.
 	Mediators  int
 	ShardKills int
+	// Reshards counts completed elastic tier reshapes (restart/add/remove
+	// cycles) and FlagsLost the detection-history entries any reshape — or
+	// the final full-tier restart — forgot; the reshard scenario asserts
+	// FlagsLost stays zero.
+	Reshards  int
+	FlagsLost int
 }
 
 // ClassMean returns the mean completion time over every finished download
@@ -115,6 +121,9 @@ func (r *Result) TSV() string {
 		fmt.Fprintf(&b, "# mediator: shards=%d flagged=%d cheaters shard_kills=%d\n",
 			r.Mediators, r.Flagged, r.ShardKills)
 	}
+	if r.Reshards > 0 || r.FlagsLost > 0 {
+		fmt.Fprintf(&b, "# reshard: reshapes=%d flags_lost=%d\n", r.Reshards, r.FlagsLost)
+	}
 	if r.Flips > 0 || r.Whitewashes > 0 {
 		fmt.Fprintf(&b, "# adversary: flips=%d whitewashes=%d\n", r.Flips, r.Whitewashes)
 	}
@@ -160,6 +169,8 @@ func (s *swarmRun) collect(elapsed time.Duration, flagged int) *Result {
 		Flagged:       flagged,
 		Mediators:     s.cfg.Mediators,
 		ShardKills:    s.kills,
+		Reshards:      s.reshards,
+		FlagsLost:     s.flagsLost,
 	}
 	for _, p := range s.peers {
 		pr := PeerResult{Class: p.class()}

@@ -50,7 +50,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestScenariosListed(t *testing.T) {
-	if len(Scenarios()) != 7 {
+	if len(Scenarios()) != 8 {
 		t.Fatalf("Scenarios() = %v", Scenarios())
 	}
 }
@@ -248,6 +248,51 @@ func TestMedfailScenario(t *testing.T) {
 		t.Fatalf("TSV missing shard-kill counter:\n%s", tsv)
 	}
 	_ = rejects // junk transfers may or may not have occurred organically
+}
+
+// TestReshardScenario is the durable-elastic-tier acceptance run: the
+// medfail cheater mix while the resharder composes shard restarts with live
+// AddShard/RemoveShard reshapes, each backed by a write-ahead log. Every
+// download completes, every cheater ends up flagged, at least one reshape
+// actually ran, and — the tentpole criterion — zero detection-history flags
+// were lost across any reshape or the final full-tier restart.
+func TestReshardScenario(t *testing.T) {
+	defer leakCheck(t)()
+	res, err := Run(Config{
+		Scenario: Reshard,
+		Nodes:    48,
+		Quick:    true,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || res.Completed != res.Wanted {
+		t.Fatalf("reshard: completed %d failed %d of %d\n%s",
+			res.Completed, res.Failed, res.Wanted, res.PeersTSV())
+	}
+	corrupt := 0
+	for _, p := range res.Peers {
+		if p.Class == ClassCorrupt {
+			corrupt++
+		}
+	}
+	if corrupt == 0 {
+		t.Fatal("world built no corrupt peers")
+	}
+	if res.Flagged != corrupt {
+		t.Fatalf("tier flagged %d of %d cheaters across reshapes\n%s", res.Flagged, corrupt, res.PeersTSV())
+	}
+	if res.Reshards == 0 {
+		t.Fatal("no tier reshape ever completed")
+	}
+	if res.FlagsLost != 0 {
+		t.Fatalf("reshapes lost %d detection-history flags", res.FlagsLost)
+	}
+	tsv := res.TSV()
+	if !strings.Contains(tsv, "reshapes=") || !strings.Contains(tsv, "flags_lost=0") {
+		t.Fatalf("TSV missing reshard counters:\n%s", tsv)
+	}
 }
 
 // TestChurn is the acceptance scenario for shutdown robustness: nodes are
