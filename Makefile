@@ -13,7 +13,7 @@ BENCH_RAW  ?= /tmp/barter-bench-raw.txt
 # source of truth for the linter toolchain.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build test test-short test-full swarm-smoke soak fuzz-smoke bench bench-json bench-check fmt vet lint print-staticcheck-version check
+.PHONY: build test test-short test-full swarm-smoke soak fuzz-smoke bench bench-json bench-check fmt vet doccheck docs-check lint print-staticcheck-version check
 
 build:
 	$(GO) build ./...
@@ -86,12 +86,25 @@ fmt:
 vet:
 	$(GO) vet -tags race ./...
 
-## lint: gofmt + vet, plus staticcheck's correctness analyses (SA*) when the
-## binary is available. Locally a missing staticcheck only warns, so the
+## doccheck: documentation-coverage lint — every package must carry a
+## package doc comment, and the workload layer (the documented public
+## surface of the trace/spec formats) must document every exported symbol.
+doccheck:
+	$(GO) run ./internal/tools/doccheck ./internal ./cmd ./examples .
+	$(GO) run ./internal/tools/doccheck -exported ./internal/workload
+
+## docs-check: smoke-run every `go run ./cmd/...` line the ROADMAP
+## quickstart advertises (-h per command, -list lines verbatim) so the
+## docs cannot drift ahead of the CLIs.
+docs-check:
+	./scripts/docs-check.sh
+
+## lint: gofmt + vet + doccheck, plus staticcheck's correctness analyses
+## (SA*) when the binary is available. Locally a missing staticcheck only warns, so the
 ## target works in hermetic environments without network access; CI runs
 ## with LINT_STRICT=1, where a missing binary is a hard failure — the lint
 ## job must never silently skip its own linter.
-lint: fmt vet
+lint: fmt vet doccheck
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck -checks 'SA*' ./...; \
 	elif [ "$(LINT_STRICT)" = "1" ]; then \

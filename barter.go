@@ -1,11 +1,14 @@
 package barter
 
 import (
+	"io"
+
 	"barter/internal/core"
 	"barter/internal/experiment"
 	"barter/internal/runner"
 	"barter/internal/sim"
 	"barter/internal/strategy"
+	"barter/internal/workload"
 )
 
 // The simulation API re-exports the internal engine types: the facade is the
@@ -56,6 +59,17 @@ type (
 	StrategyClass = strategy.Class
 	// StrategyMix is an ordered population mix of weighted classes.
 	StrategyMix = strategy.Mix
+
+	// WorkloadSpec is one declarative temporal workload — demand phases,
+	// popularity model, session cohorts — consumed identically by the
+	// simulator (Config.Workload) and the live swarm's wave scenario
+	// (SwarmConfig.Workload). See internal/workload and docs/WORKLOADS.md.
+	WorkloadSpec = workload.Spec
+	// WorkloadTrace is a recorded run in the versioned JSON-lines trace
+	// format, replayable deterministically via Config.Trace.
+	WorkloadTrace = workload.Trace
+	// WorkloadRecorder accumulates trace events from a live run.
+	WorkloadRecorder = workload.Recorder
 )
 
 // The canonical peer strategies, usable in Config.Mix and mirrored by the
@@ -142,3 +156,26 @@ func Experiments() []*Experiment { return experiment.All() }
 
 // ExperimentByID returns one artifact by key (e.g. "fig4").
 func ExperimentByID(id string) (*Experiment, bool) { return experiment.ByID(id) }
+
+// LoadWorkload resolves a workload argument the way the CLIs document it:
+// a path to a JSON spec file if one exists there, otherwise a builtin name
+// (see WorkloadBuiltins).
+func LoadWorkload(nameOrPath string) (*WorkloadSpec, error) { return workload.Load(nameOrPath) }
+
+// WorkloadBuiltins lists the named builtin workload specs.
+func WorkloadBuiltins() []string { return workload.BuiltinNames() }
+
+// RunWorkload executes one open-loop workload spec in the simulator through
+// the parallel grid runner (exchsim -workload).
+func RunWorkload(spec *WorkloadSpec, opts ExperimentOptions) (*ExperimentReport, error) {
+	return experiment.WorkloadRun(spec, opts)
+}
+
+// ReadWorkloadTrace decodes and validates a JSON-lines trace.
+func ReadWorkloadTrace(r io.Reader) (*WorkloadTrace, error) { return workload.ReadTrace(r) }
+
+// ReplayTrace re-runs a recorded trace in the simulator (exchsim -trace);
+// the emitted TSV is byte-identical at any ExperimentOptions.Parallel.
+func ReplayTrace(tr *WorkloadTrace, opts ExperimentOptions) (*ExperimentReport, error) {
+	return experiment.ReplayTrace(tr, opts)
+}

@@ -38,8 +38,8 @@ func TestSimulationThroughFacade(t *testing.T) {
 }
 
 func TestExperimentRegistryThroughFacade(t *testing.T) {
-	if len(Experiments()) != 14 {
-		t.Fatalf("got %d experiments, want 14", len(Experiments()))
+	if len(Experiments()) != 15 {
+		t.Fatalf("got %d experiments, want 15", len(Experiments()))
 	}
 	if _, ok := ExperimentByID("fig4"); !ok {
 		t.Fatal("fig4 missing")

@@ -5,6 +5,14 @@
 //	exchsim -list
 //	exchsim -experiment fig4 [-quick] [-seed 7] [-parallel 8] [-replicas 5] [-v] [-perf]
 //	exchsim -all [-quick]
+//	exchsim -workload flash [-quick] [-replicas 5]
+//	exchsim -trace run.trace [-quick] [-parallel 8]
+//
+// -workload runs one open-loop temporal workload spec (a builtin name —
+// constant, diurnal, flash, waves — or a path to a JSON spec file) instead
+// of a figure. -trace replays a recorded JSON-lines trace, typically an
+// exchswarm -record capture; the replayed world's shape comes from the
+// trace header. Both are documented field by field in docs/WORKLOADS.md.
 //
 // Output is tab-separated: one column per plotted series, one row per x
 // value, matching the corresponding figure of the paper. Grid points run in
@@ -54,6 +62,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		replicas = fs.Int("replicas", 1, "replications per grid point (adds mean ± 95% CI columns)")
 		verbose  = fs.Bool("v", false, "print per-run progress to stderr")
 		perf     = fs.Bool("perf", false, "print an engine performance report to stderr after the runs")
+		wl       = fs.String("workload", "", "run an open-loop workload spec: a builtin name or a JSON spec file")
+		trace    = fs.String("trace", "", "replay a recorded JSON-lines trace file (e.g. from exchswarm -record)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -84,6 +94,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	switch {
+	case *wl != "" && *trace != "":
+		return fmt.Errorf("-workload and -trace are mutually exclusive")
+	case *wl != "":
+		spec, err := barter.LoadWorkload(*wl)
+		if err != nil {
+			return err
+		}
+		rep, err := barter.RunWorkload(spec, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, rep.TSV())
+		return nil
+	case *trace != "":
+		f, err := os.Open(*trace)
+		if err != nil {
+			return err
+		}
+		tr, err := barter.ReadWorkloadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		rep, err := barter.ReplayTrace(tr, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, rep.TSV())
+		return nil
 	case *all:
 		for _, e := range barter.Experiments() {
 			fmt.Fprintf(stdout, "==== %s: %s ====\n", e.ID, e.Title)
@@ -107,6 +146,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	default:
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -list, -experiment, or -all")
+		return fmt.Errorf("nothing to do: pass -list, -experiment, -all, -workload, or -trace")
 	}
 }

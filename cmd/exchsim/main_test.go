@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -108,5 +110,78 @@ func TestVerboseEmitsProgress(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "ablation-search") {
 		t.Fatalf("no progress lines on stderr:\n%s", stderr)
+	}
+}
+
+// traceFile writes a minimal valid version-1 trace to a temp file: three
+// peers, one held object, two requests inside a short session window.
+func traceFile(t *testing.T) string {
+	t.Helper()
+	lines := []string{
+		`{"kind":"header","version":1,"scenario":"test","nodes":3,"objects":2,"horizon":100}`,
+		`{"kind":"hold","t":0,"peer":1,"obj":1}`,
+		`{"kind":"request","t":5,"peer":2,"obj":1}`,
+		`{"kind":"request","t":9,"peer":3,"obj":1}`,
+	}
+	path := filepath.Join(t.TempDir(), "test.trace")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestWorkloadFlagRunsBuiltin: -workload with a builtin name produces the
+// open-loop metric table, byte-identical across -parallel.
+func TestWorkloadFlagRunsBuiltin(t *testing.T) {
+	seq, _, err := runCmd(t, "-workload", "flash", "-quick", "-replicas", "2", "-parallel", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(seq, "completed downloads") {
+		t.Fatalf("workload TSV missing completed-downloads series:\n%s", seq)
+	}
+	par, _, err := runCmd(t, "-workload", "flash", "-quick", "-replicas", "2", "-parallel", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Fatalf("-workload output diverged across -parallel:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+// TestTraceFlagReplaysFile: -trace replays a recorded file and labels the
+// table with the trace's scenario and event count.
+func TestTraceFlagReplaysFile(t *testing.T) {
+	out, _, err := runCmd(t, "-trace", traceFile(t), "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "replay test") || !strings.Contains(out, "completed downloads") {
+		t.Fatalf("replay TSV unexpected:\n%s", out)
+	}
+}
+
+// TestWorkloadTraceMutuallyExclusive: the two demand sources cannot be
+// combined in one invocation.
+func TestWorkloadTraceMutuallyExclusive(t *testing.T) {
+	_, _, err := runCmd(t, "-workload", "flash", "-trace", "x.trace")
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("want mutual-exclusion error, got %v", err)
+	}
+}
+
+// TestUnknownWorkloadNameErrors: neither a file nor a builtin.
+func TestUnknownWorkloadNameErrors(t *testing.T) {
+	_, _, err := runCmd(t, "-workload", "no-such-spec")
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestMissingTraceFileErrors surfaces the open error for a bad -trace path.
+func TestMissingTraceFileErrors(t *testing.T) {
+	_, _, err := runCmd(t, "-trace", filepath.Join(t.TempDir(), "absent.trace"))
+	if err == nil {
+		t.Fatal("missing trace file accepted")
 	}
 }

@@ -15,6 +15,15 @@
 //	exchswarm -scenario cheater -nodes 120 -mediators 4 -quick
 //	exchswarm -scenario medfail -nodes 80 -mediators 4 -medkills 6 -quick -v
 //	exchswarm -scenario reshard -nodes 80 -reshards 9 -quick -v
+//	exchswarm -scenario wave -nodes 60 -workload flash -quick -record run.trace
+//
+// The wave scenario schedules downloader demand from a temporal workload
+// spec (-workload: a builtin name or a JSON spec file; see docs/WORKLOADS.md)
+// compiled over the -window wall-clock horizon: request times follow the
+// spec's demand curve, objects its popularity model, and cohort peers
+// arrive late or depart early as live session churn. -record writes any
+// scenario's run as a replayable JSON-lines trace that
+// `exchsim -trace <file>` re-executes deterministically in the simulator.
 //
 // -mediators shards the mediator tier (consistent hashing over object id)
 // for any scenario; medfail additionally kills and restarts shards mid-run
@@ -80,6 +89,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timeout  = fs.Duration("timeout", 0, "run deadline (0 = scenario default)")
 		peers    = fs.Bool("peers", false, "append one TSV row per peer with protocol counters")
 		verbose  = fs.Bool("v", false, "log swarm progress to stderr")
+		wl       = fs.String("workload", "", "wave scenario demand spec: a builtin name or a JSON spec file")
+		window   = fs.Duration("window", 0, "wave scenario wall-clock horizon (0 = scenario default)")
+		record   = fs.String("record", "", "write the run as a replayable JSON-lines trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -119,6 +131,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		BlockSize:     *block,
 		UploadSlots:   *slots,
 		Timeout:       *timeout,
+		WaveWindow:    *window,
+	}
+	if *wl != "" {
+		spec, err := barter.LoadWorkload(*wl)
+		if err != nil {
+			return err
+		}
+		cfg.Workload = spec
+	}
+	var recFile *os.File
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		recFile = f
+		cfg.Record = f
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
@@ -128,6 +157,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	start := time.Now()
 	res, err := barter.RunSwarm(cfg)
+	if recFile != nil {
+		// The trace was (or failed to be) written by Run; surface close
+		// errors so a truncated recording never passes silently.
+		if cerr := recFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}

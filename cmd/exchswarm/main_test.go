@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"barter"
 )
 
 func TestListScenarios(t *testing.T) {
@@ -136,5 +140,52 @@ func TestMedfailThroughCLI(t *testing.T) {
 	}
 	if !strings.Contains(got, "flagged=") {
 		t.Fatalf("TSV missing flagged counter:\n%s", got)
+	}
+}
+
+// TestWaveRecordsReplayableTrace drives the wave scenario through the CLI:
+// a builtin workload spec, a -record file, and the trace comment in the
+// TSV. The recorded file must parse as a version-1 JSON-lines trace.
+func TestWaveRecordsReplayableTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wave.trace")
+	var out, errOut strings.Builder
+	args := []string{"-scenario", "wave", "-nodes", "24", "-quick", "-seed", "5",
+		"-workload", "flash", "-record", path}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "trace: events=") {
+		t.Fatalf("TSV missing trace comment:\n%s", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := barter.ReadWorkloadTrace(f)
+	if err != nil {
+		t.Fatalf("recorded file is not a valid trace: %v", err)
+	}
+	if tr.Header.Scenario != "wave" || len(tr.Events) == 0 {
+		t.Fatalf("unexpected trace: scenario %q with %d events", tr.Header.Scenario, len(tr.Events))
+	}
+}
+
+// TestWorkloadFlagRejectedOffWave: a workload spec only drives the wave
+// scenario; other scenarios must refuse it loudly rather than ignore it.
+func TestWorkloadFlagRejectedOffWave(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{"-scenario", "mixed", "-nodes", "10", "-quick", "-workload", "flash"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "wave") {
+		t.Fatalf("want wave-only error, got %v", err)
+	}
+}
+
+// TestUnknownWorkloadErrors: a workload argument that is neither a builtin
+// name nor a spec file fails before any nodes launch.
+func TestUnknownWorkloadErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-scenario", "wave", "-nodes", "10", "-quick", "-workload", "nope"}, &out, &errOut); err == nil {
+		t.Fatal("unknown workload accepted")
 	}
 }

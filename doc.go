@@ -30,6 +30,20 @@
 // two-class population (Config.FreeriderFrac) is the nil-Mix default and
 // reproduces its historical output byte for byte.
 //
+// Demand is declarative too: internal/workload is the temporal counterpart
+// of the strategy layer — one workload spec (multi-phase demand curves:
+// constant, diurnal, flash-crowd with decay; Zipf popularity with optional
+// drift; arrive/depart session cohorts, all in normalized horizon
+// fractions) drives the simulator open-loop (Config.Workload, the figt
+// experiment, exchsim -workload) and the live swarm's wave scenario
+// (SwarmConfig.Workload) identically. The same package defines a versioned
+// JSON-lines trace format: any swarm run recorded with exchswarm -record
+// (SwarmConfig.Record) replays deterministically in the simulator via
+// Config.Trace / exchsim -trace, with byte-identical output at any
+// parallelism. Both formats are documented field by field in
+// docs/WORKLOADS.md; docs/ARCHITECTURE.md maps the package layout to the
+// paper's sections.
+//
 // Experiments enumerate their parameter grids declaratively and execute
 // them through RunGrid, a bounded worker pool over independent simulation
 // runs. Its determinism contract: a job's effective seed depends only on

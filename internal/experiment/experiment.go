@@ -267,6 +267,7 @@ func All() []*Experiment {
 		Fig11(),
 		Fig12(),
 		FigW(),
+		FigT(),
 		AblationPreemption(),
 		AblationCredit(),
 		AblationSearch(),

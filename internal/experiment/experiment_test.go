@@ -41,7 +41,7 @@ func runExp(t *testing.T, id string) *Report {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table2", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"fig9", "fig10", "fig11", "fig12", "figw",
+		"fig9", "fig10", "fig11", "fig12", "figw", "figt",
 		"ablation-preemption", "ablation-credit", "ablation-search",
 	}
 	all := All()

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"barter/internal/swarm"
+	"barter/internal/workload"
+)
+
+// mustBuiltin returns a fresh copy of a named builtin spec.
+func mustBuiltin(t *testing.T, name string) *workload.Spec {
+	t.Helper()
+	spec, ok := workload.Builtin(name)
+	if !ok {
+		t.Fatalf("builtin workload %q missing", name)
+	}
+	return spec
+}
+
+// TestWorkloadRunParallelInvariant pins the runner contract for open-loop
+// workload runs: the emitted TSV is byte-identical whether the replicas run
+// on one worker or eight. This is the flash-crowd scheduling half of the
+// trace acceptance criterion.
+func TestWorkloadRunParallelInvariant(t *testing.T) {
+	spec := mustBuiltin(t, "flash")
+	var tsv []string
+	for _, par := range []int{1, 8} {
+		rep, err := WorkloadRun(spec, Options{Seed: 11, Quick: true, Parallel: par, Replicas: 2})
+		if err != nil {
+			t.Fatalf("WorkloadRun(parallel=%d): %v", par, err)
+		}
+		tsv = append(tsv, rep.TSV())
+	}
+	if tsv[0] != tsv[1] {
+		t.Fatalf("workload TSV differs across -parallel:\n-- parallel 1 --\n%s\n-- parallel 8 --\n%s", tsv[0], tsv[1])
+	}
+	if !strings.Contains(tsv[0], "completed downloads") {
+		t.Fatalf("workload TSV missing completed-downloads series:\n%s", tsv[0])
+	}
+}
+
+// TestWorkloadRunCompletesDemand checks an open-loop run actually moves
+// data: a constant-demand quick world completes a healthy share of its
+// scheduled requests.
+func TestWorkloadRunCompletesDemand(t *testing.T) {
+	spec := mustBuiltin(t, "constant")
+	rep, err := WorkloadRun(spec, Options{Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rep.Tables[0]
+	completed := seriesY(t, tab, "completed downloads")
+	if completed[0] <= 0 {
+		t.Fatalf("open-loop constant workload completed %v downloads", completed[0])
+	}
+	meanMin := seriesY(t, tab, "mean download time (min)")
+	if math.IsNaN(meanMin[0]) || meanMin[0] <= 0 {
+		t.Fatalf("bad mean download time %v", meanMin[0])
+	}
+}
+
+// TestTraceRoundTripParallelInvariant is the PR's acceptance criterion end
+// to end: record a live wave swarm, read the trace back, and replay it in
+// the simulator at -parallel 1 and -parallel 8 — the replay TSV must be
+// byte-identical, because the runner derives every replica's seed from
+// (job, replica) alone and the replay engine never mutates the shared
+// trace.
+func TestTraceRoundTripParallelInvariant(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := swarm.Run(swarm.Config{
+		Scenario: swarm.Wave,
+		Nodes:    30,
+		Quick:    true,
+		Seed:     21,
+		Record:   &buf,
+	})
+	if err != nil {
+		t.Fatalf("wave swarm: %v", err)
+	}
+	if res.TraceEvents == 0 {
+		t.Fatal("recorded run reported zero trace events")
+	}
+	tr, err := workload.ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("read recorded trace: %v", err)
+	}
+	var tsv []string
+	for _, par := range []int{1, 8} {
+		rep, err := ReplayTrace(tr, Options{Seed: 7, Quick: true, Parallel: par, Replicas: 2})
+		if err != nil {
+			t.Fatalf("ReplayTrace(parallel=%d): %v", par, err)
+		}
+		tsv = append(tsv, rep.TSV())
+	}
+	if tsv[0] != tsv[1] {
+		t.Fatalf("replay TSV differs across -parallel:\n-- parallel 1 --\n%s\n-- parallel 8 --\n%s", tsv[0], tsv[1])
+	}
+	tab := func() string { return tsv[0] }()
+	if !strings.Contains(tab, "completed downloads") {
+		t.Fatalf("replay TSV missing completed-downloads series:\n%s", tab)
+	}
+}
+
+// TestReplayTraceRejectsInvalid ensures a malformed trace is refused before
+// any simulation runs.
+func TestReplayTraceRejectsInvalid(t *testing.T) {
+	tr := &workload.Trace{
+		Header: workload.Header{Kind: "header", Version: workload.TraceVersion},
+	}
+	if _, err := ReplayTrace(tr, quickOpts()); err == nil {
+		t.Fatal("ReplayTrace accepted a trace with no nodes")
+	}
+}
+
+// TestFigTTemporalShapes runs the temporal-workload figure in the quick
+// world: every mechanism series must exist with finite positive speedups at
+// all three demand shapes, and exchange must keep a speedup advantage over
+// fifo under the flash shape — the incentive question the figure asks.
+func TestFigTTemporalShapes(t *testing.T) {
+	skipShort(t)
+	rep := runExp(t, "figt")
+	tab := rep.Tables[0]
+	exch := seriesY(t, tab, "exchange (2-5-way)")
+	fifo := seriesY(t, tab, "fifo (no incentive)")
+	emule := seriesY(t, tab, "emule credit")
+	for _, ys := range [][]float64{exch, fifo, emule} {
+		if len(ys) != 3 {
+			t.Fatalf("series has %d points, want 3 (one per demand shape)", len(ys))
+		}
+		for _, y := range ys {
+			if math.IsNaN(y) || y <= 0 {
+				t.Fatalf("bad speedup value %v", y)
+			}
+		}
+	}
+	// Flash crowd is the last sweep point.
+	if exch[2] <= fifo[2] {
+		t.Errorf("flash crowd: exchange speedup %.2f not above fifo %.2f", exch[2], fifo[2])
+	}
+}

@@ -106,6 +106,9 @@ type Result struct {
 	IRQRejected int
 	// LookupFailures counts request attempts that found no holder.
 	LookupFailures int
+	// WorkloadDropped counts open-loop demand arrivals lost because the
+	// peer was already at MaxPending (always zero for closed-loop runs).
+	WorkloadDropped int
 
 	// RingSearches counts ring searches executed; SearchNodesVisited and
 	// SearchWantsChecked aggregate their traversal cost (Section V's search
@@ -256,6 +259,7 @@ type collector struct {
 	preemptions  int
 	irqRejected  int
 	lookupFails  int
+	wlDropped    int
 
 	ringSearches int
 	searchNodes  int
@@ -352,6 +356,7 @@ func (c *collector) result(policy string, horizon float64, events uint64, classC
 		Preemptions:            c.preemptions,
 		IRQRejected:            c.irqRejected,
 		LookupFailures:         c.lookupFails,
+		WorkloadDropped:        c.wlDropped,
 		RingSearches:           c.ringSearches,
 		SearchNodesVisited:     c.searchNodes,
 		SearchWantsChecked:     c.searchWants,

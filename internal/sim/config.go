@@ -12,6 +12,7 @@ import (
 	"barter/internal/catalog"
 	"barter/internal/core"
 	"barter/internal/strategy"
+	"barter/internal/workload"
 )
 
 // Ranker orders non-exchange service. The default (nil) is
@@ -123,6 +124,23 @@ type Config struct {
 	EvictionInterval float64
 	RetryInterval    float64
 
+	// Workload, when set, replaces the closed-loop demand model (peers
+	// topping up to MaxPending) with the spec's open-loop temporal demand:
+	// request arrivals follow the spec's demand curve, objects follow its
+	// popularity model, and cohort peers hold their arrive/depart sessions.
+	// Arrivals at a peer already at MaxPending are dropped and counted in
+	// Result.WorkloadDropped. Mutually exclusive with Trace.
+	Workload *workload.Spec
+
+	// Trace, when set, replays a recorded run (typically a swarm run recorded
+	// with exchswarm -record): initial holdings, request arrivals, and
+	// session events come from the trace instead of any demand model, and
+	// New overrides NumPeers, object geometry, and Duration from the trace
+	// header so the replayed world matches the recorded one. All replayed
+	// peers share (strategy questions belong to Workload runs). Mutually
+	// exclusive with Workload.
+	Trace *workload.Trace
+
 	// Ranker orders non-exchange service; nil means FIFO.
 	Ranker Ranker
 
@@ -212,6 +230,19 @@ func (c Config) Validate() error {
 			if cl.Corrupt {
 				return fmt.Errorf("sim: strategy %q: corrupt peers are only meaningful in the live swarm (block validation is not simulated)", cl.Name)
 			}
+		}
+	}
+	if c.Workload != nil && c.Trace != nil {
+		return fmt.Errorf("sim: Workload and Trace are mutually exclusive")
+	}
+	if c.Workload != nil {
+		if err := c.Workload.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	if c.Trace != nil {
+		if err := c.Trace.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
 		}
 	}
 	if err := c.Policy.Validate(); err != nil {

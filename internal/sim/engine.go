@@ -11,6 +11,7 @@ import (
 	"barter/internal/perfstats"
 	"barter/internal/rng"
 	"barter/internal/strategy"
+	"barter/internal/workload"
 )
 
 // Sim is one simulation run: a deterministic, single-threaded discrete-event
@@ -53,6 +54,13 @@ type Sim struct {
 	classCounts []int
 	ran         bool
 
+	// Open-loop demand state (see workload.go): sched and the per-peer
+	// arrival streams drive Config.Workload runs; replay marks a
+	// Config.Trace run. Both disable the closed-loop issueRequests model.
+	sched    *workload.Schedule
+	wstreams []*rng.RNG
+	replay   bool
+
 	// Scratch buffers, reused across events so the hot path stays
 	// allocation-free at steady state. Each is used only within a single
 	// engine call frame that cannot re-enter itself (documented per use).
@@ -74,6 +82,17 @@ type Sim struct {
 // request burst. The same Config (including Seed) always produces the same
 // run.
 func New(cfg Config) (*Sim, error) {
+	if cfg.Trace != nil {
+		if cfg.Workload != nil {
+			return nil, fmt.Errorf("sim: Workload and Trace are mutually exclusive")
+		}
+		if err := cfg.Trace.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		// The replayed world's shape comes from the trace header, so the
+		// overrides must land before Validate sees the config.
+		cfg = traceConfig(cfg)
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -128,19 +147,32 @@ func New(cfg Config) (*Sim, error) {
 			irqIndex: make(map[irqKey]*request),
 			storeCap: engRNG.IntRange(cfg.StorageMinObjects, cfg.StorageMaxObjects),
 		}
-		for _, o := range cat.InitialStore(p.interest, p.storeCap, engRNG) {
-			p.store[o] = true
-			if p.sharing {
-				s.addHolder(o, p.id)
+		// Replay seeds stores exclusively from the trace's hold events.
+		if cfg.Trace == nil {
+			for _, o := range cat.InitialStore(p.interest, p.storeCap, engRNG) {
+				p.store[o] = true
+				if p.sharing {
+					s.addHolder(o, p.id)
+				}
 			}
 		}
 		s.peers[i] = p
 	}
 
-	// Initial request burst, staggered over the first minute.
-	for i := range s.peers {
-		id := core.PeerID(i)
-		s.after(engRNG.Float64()*60, func(float64) { s.issueRequests(s.peers[id]) })
+	// Demand model: recorded trace, open-loop temporal workload, or the
+	// legacy closed-loop initial burst staggered over the first minute.
+	switch {
+	case cfg.Trace != nil:
+		s.setupReplay()
+	case cfg.Workload != nil:
+		if err := s.setupWorkload(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	default:
+		for i := range s.peers {
+			id := core.PeerID(i)
+			s.after(engRNG.Float64()*60, func(float64) { s.issueRequests(s.peers[id]) })
+		}
 	}
 	s.after(cfg.EvictionInterval, s.evictionSweep)
 	// Whitewash clocks, jittered so a cohort does not churn in lockstep.
@@ -300,9 +332,12 @@ func (s *Sim) removeHolder(o catalog.ObjectID, id core.PeerID) { s.holders.Remov
 
 // --- request issue ------------------------------------------------------
 
-// issueRequests tops the peer up to MaxPending outstanding downloads.
+// issueRequests tops the peer up to MaxPending outstanding downloads. It is
+// the closed-loop demand model only: under a workload or trace (openLoop),
+// demand arrives from workload.go and this is a no-op — the call sites in
+// completeDownload and RejoinPeer must not synthesize extra requests there.
 func (s *Sim) issueRequests(p *peerState) {
-	if !p.online {
+	if !p.online || s.openLoop() {
 		return
 	}
 	for len(p.pending) < s.cfg.MaxPending {
@@ -328,19 +363,7 @@ func (s *Sim) attemptRequest(p *peerState) bool {
 		// candScratch is safe here: startDownload consumes it before this
 		// frame can recurse into another attemptRequest (downloads only
 		// complete from block events, never synchronously).
-		cands := s.candScratch[:0]
-		if hs := s.holders.Get(obj); hs != nil {
-			cands = hs.AppendTo(cands)
-		}
-		n := 0
-		for _, h := range cands {
-			if h != p.id && s.peers[h].online {
-				cands[n] = h
-				n++
-			}
-		}
-		cands = cands[:n]
-		s.candScratch = cands
+		cands := s.holderCands(p, obj)
 		if len(cands) == 0 {
 			s.col.lookupFails++
 			continue

@@ -64,6 +64,9 @@ type Result struct {
 	// FlagsLost stays zero.
 	Reshards  int
 	FlagsLost int
+	// TraceEvents counts the events recorded into Config.Record (zero when
+	// the run was not recorded).
+	TraceEvents int
 }
 
 // ClassMean returns the mean completion time over every finished download
@@ -126,6 +129,9 @@ func (r *Result) TSV() string {
 	}
 	if r.Flips > 0 || r.Whitewashes > 0 {
 		fmt.Fprintf(&b, "# adversary: flips=%d whitewashes=%d\n", r.Flips, r.Whitewashes)
+	}
+	if r.TraceEvents > 0 {
+		fmt.Fprintf(&b, "# trace: events=%d recorded\n", r.TraceEvents)
 	}
 	return b.String()
 }

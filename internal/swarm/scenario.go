@@ -2,10 +2,12 @@ package swarm
 
 import (
 	"fmt"
+	"time"
 
 	"barter/internal/catalog"
 	"barter/internal/core"
 	"barter/internal/strategy"
+	"barter/internal/workload"
 )
 
 // buildWorld assigns strategy classes, places content, derives wants, and
@@ -26,6 +28,10 @@ func (s *swarmRun) buildWorld() error {
 		s.buildFreerider()
 	case Adversary:
 		s.buildAdversary()
+	case Wave:
+		if err := s.buildWave(); err != nil {
+			return err
+		}
 	}
 	for _, p := range s.peers {
 		if err := s.spawn(p); err != nil {
@@ -281,6 +287,79 @@ func (s *swarmRun) buildAdversary() {
 		addLeech(strategy.NonSharing())
 	}
 	s.topUpOracle()
+}
+
+// buildWave: a few seed holders carry the catalog round-robin, and every
+// other peer's wants come from the workload spec compiled over WaveWindow —
+// the live counterpart of sim.Config.Workload. Each downloader's arrival
+// times and object draws use its private schedule stream, so the same
+// (spec, window, population, objects, seed) tuple always yields the same
+// want structure; only wall-clock service times vary run to run. Repeated
+// draws of an object a peer already wants collapse into the one want (a live
+// node downloads an object once), and cohort members get their session
+// edges: wants only inside the window, plus a departure the monitors enforce
+// by closing the node.
+func (s *swarmRun) buildWave() error {
+	spec := s.cfg.Workload
+	if spec == nil {
+		// The default live wave: the flash-crowd builtin, re-anchored so one
+		// downloader expects about WantsPerNode requests over the window
+		// (the builtins' anchor suits hours-long simulations, not a
+		// seconds-long swarm).
+		spec, _ = workload.Builtin("flash")
+		spec.RequestsPerPeer = float64(s.cfg.WantsPerNode)
+	}
+	seeds := max(2, s.cfg.Nodes/20)
+	downloaders := s.cfg.Nodes - seeds
+	window := s.cfg.WaveWindow.Seconds()
+	sched, err := spec.Compile(window, downloaders, s.cfg.Objects, s.cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("swarm: wave workload: %w", err)
+	}
+	for i := 0; i < seeds; i++ {
+		p := &peerState{id: core.PeerID(i + 1), strat: strategy.Sharing()}
+		for o := i + 1; o <= s.cfg.Objects; o += seeds {
+			p.holds = append(p.holds, catalog.ObjectID(o))
+		}
+		s.peers = append(s.peers, p)
+	}
+	for d := 0; d < downloaders; d++ {
+		p := &peerState{id: core.PeerID(seeds + d + 1), strat: strategy.Sharing()}
+		arrive, depart := sched.Session(d)
+		st := sched.PeerStream(d)
+		seen := make(map[catalog.ObjectID]bool)
+		for t := sched.NextArrival(arrive, st); t < depart; t = sched.NextArrival(t, st) {
+			// Schedule objects are 0-based; swarm objects are 1-based.
+			obj := catalog.ObjectID(sched.SampleObject(t, st) + 1)
+			if seen[obj] {
+				continue
+			}
+			seen[obj] = true
+			// The owning seed always provides; a few fellow downloaders join
+			// the set so completed sharers spread the object epidemically.
+			providers := []core.PeerID{s.peers[(int(obj)-1)%seeds].id}
+			for _, j := range s.rng.Perm(downloaders)[:min(s.cfg.ProvidersPerWant, downloaders)] {
+				if other := core.PeerID(seeds + j + 1); other != p.id {
+					providers = append(providers, other)
+				}
+			}
+			p.wants = append(p.wants, &wantState{
+				obj:       obj,
+				providers: providers,
+				startAt:   time.Duration(t * float64(time.Second)),
+			})
+		}
+		if arrive > 0 && s.rec != nil {
+			// The cohort's session start is part of the recorded demand shape
+			// even though the live node simply idles until its first want.
+			s.rec.Arrive(arrive, int(p.id))
+		}
+		if depart < window {
+			p.departAt = time.Duration(depart * float64(time.Second))
+		}
+		s.peers = append(s.peers, p)
+	}
+	return nil
 }
 
 // topUpOracle makes sure every object in play has digests: scenario builders

@@ -35,6 +35,13 @@
 //     AddShard/RemoveShard reshapes under the cheater mix, asserting after
 //     every reshape (and a final full-tier restart) that no detection
 //     history was lost.
+//   - wave: the temporal workload scenario — a few seeds hold the catalog
+//     while everyone else's demand is scheduled by a workload.Spec (see
+//     internal/workload) compiled over Config.WaveWindow: request times
+//     follow the spec's demand curve, objects its popularity model, and
+//     cohort peers arrive late or depart early as live session churn. With
+//     Config.Record set, any scenario emits a replayable JSON-lines trace
+//     (docs/WORKLOADS.md) the simulator re-runs via sim.Config.Trace.
 //
 // Peer behavior classes come from internal/strategy — the same declarative
 // definitions the simulator consumes — so exchswarm TSV and exchsim figures
@@ -51,6 +58,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"time"
@@ -64,6 +72,7 @@ import (
 	"barter/internal/rng"
 	"barter/internal/strategy"
 	"barter/internal/transport"
+	"barter/internal/workload"
 )
 
 // Scenario names a declarative swarm workload.
@@ -90,11 +99,18 @@ const (
 	// was forgotten. The zero-lost-flags criterion is the tentpole promise
 	// of the durability layer.
 	Reshard Scenario = "reshard"
+	// Wave is the temporal workload scenario: downloader demand is scheduled
+	// by a workload.Spec compiled over Config.WaveWindow — flash-crowd and
+	// diurnal curves, Zipf popularity, cohort session churn — instead of the
+	// other scenarios' static want lists. The same spec drives
+	// sim.Config.Workload, so live and simulated runs share one demand
+	// definition.
+	Wave Scenario = "wave"
 )
 
 // Scenarios lists every built-in scenario in presentation order.
 func Scenarios() []Scenario {
-	return []Scenario{FlashCrowd, Mixed, Freerider, Cheater, Churn, Adversary, Medfail, Reshard}
+	return []Scenario{FlashCrowd, Mixed, Freerider, Cheater, Churn, Adversary, Medfail, Reshard, Wave}
 }
 
 // Peer class labels, shared with the simulator through internal/strategy so
@@ -178,6 +194,18 @@ type Config struct {
 	// in-memory shards — except on the reshard scenario, which needs
 	// durability and creates (and removes) a temporary directory.
 	MedDataDir string
+	// Workload is the wave scenario's demand spec; nil means the "flash"
+	// builtin anchored at WantsPerNode requests per downloader. Rejected on
+	// other scenarios (their wants are structural, not temporal).
+	Workload *workload.Spec
+	// WaveWindow is the wall-clock horizon the wave scenario compiles its
+	// spec over: all of the spec's normalized times map onto this window.
+	// Zero means 2s under Quick, 6s otherwise.
+	WaveWindow time.Duration
+	// Record, when set, receives the run as a replayable JSON-lines trace
+	// (workload.Trace): initial holds, every demand arrival, and wave
+	// session edges, written after the run settles. Any scenario records.
+	Record io.Writer
 	// Timeout bounds the whole run; wants still pending when it expires
 	// are recorded as failed.
 	Timeout time.Duration
@@ -187,11 +215,26 @@ type Config struct {
 
 func (c *Config) fillDefaults() error {
 	switch c.Scenario {
-	case FlashCrowd, Mixed, Freerider, Cheater, Churn, Adversary, Medfail, Reshard:
+	case FlashCrowd, Mixed, Freerider, Cheater, Churn, Adversary, Medfail, Reshard, Wave:
 	case "":
 		return errors.New("swarm: Scenario is required")
 	default:
 		return fmt.Errorf("swarm: unknown scenario %q", c.Scenario)
+	}
+	if c.Workload != nil {
+		if c.Scenario != Wave {
+			return fmt.Errorf("swarm: a Workload spec only drives the wave scenario, not %q", c.Scenario)
+		}
+		if err := c.Workload.Validate(); err != nil {
+			return fmt.Errorf("swarm: %w", err)
+		}
+	}
+	if c.Scenario == Wave && c.WaveWindow <= 0 {
+		if c.Quick {
+			c.WaveWindow = 2 * time.Second
+		} else {
+			c.WaveWindow = 6 * time.Second
+		}
 	}
 	if c.Nodes < 4 {
 		return fmt.Errorf("swarm: need at least 4 nodes, got %d", c.Nodes)
@@ -351,6 +394,9 @@ func (d *directory) lookup(id core.PeerID) (string, bool) {
 type wantState struct {
 	obj       catalog.ObjectID
 	providers []core.PeerID
+	// startAt delays the want's first issue past run start — the wave
+	// scenario's scheduled demand arrival. Zero means issue immediately.
+	startAt time.Duration
 
 	mu       sync.Mutex
 	done     bool
@@ -381,6 +427,10 @@ type peerState struct {
 
 	holds []catalog.ObjectID // objects held from the start
 	wants []*wantState
+	// departAt schedules the wave scenario's session end: once it passes and
+	// the peer's own wants have settled, a monitor closes the node for good.
+	// Zero means the peer stays to the end.
+	departAt time.Duration
 }
 
 // current returns the peer's live node (it changes across churn restarts).
@@ -428,9 +478,12 @@ type swarmRun struct {
 	// the resharder goroutine touches it.
 	medAddrSeq int
 	rng        *rng.RNG
-	start      time.Time
-	giveUp     chan struct{} // closed when the run deadline expires
-	waiters    sync.WaitGroup
+	// rec accumulates the run's replayable trace when cfg.Record is set; nil
+	// otherwise. Safe for the waiter goroutines' concurrent use.
+	rec     *workload.Recorder
+	start   time.Time
+	giveUp  chan struct{} // closed when the run deadline expires
+	waiters sync.WaitGroup
 	// monitors tracks the adversary supervision goroutines (adaptive flips,
 	// whitewash churns); they exit once their peer's wants settle, and Run
 	// joins them before collecting so no respawn races teardown.
@@ -494,6 +547,9 @@ func Run(cfg Config) (*Result, error) {
 		rng:    rng.New(cfg.Seed),
 		giveUp: make(chan struct{}),
 	}
+	if cfg.Record != nil {
+		s.rec = workload.NewRecorder()
+	}
 	if s.tr == nil {
 		if cfg.TCP {
 			s.tr = transport.TCP{ReadTimeout: 30 * time.Second, WriteTimeout: 30 * time.Second}
@@ -537,12 +593,22 @@ func Run(cfg Config) (*Result, error) {
 	}
 	s.seedIDAllocator()
 	s.logf("world: %s", s.describe())
+	if s.rec != nil {
+		// Initial holdings are t=0 facts; demand and session edges are
+		// recorded as they happen by the waiters and departure monitors.
+		for _, p := range s.peers {
+			for _, o := range p.holds {
+				s.rec.Hold(int(p.currentID()), int(o))
+			}
+		}
+	}
 
 	s.start = time.Now()
 	deadline := time.AfterFunc(cfg.Timeout, func() { close(s.giveUp) })
 	defer deadline.Stop()
 
 	s.launchWants()
+	s.launchDepartures()
 	s.superviseAdversaries()
 	killerDone := make(chan struct{})
 	if cfg.Scenario == Medfail {
@@ -578,6 +644,22 @@ func Run(cfg Config) (*Result, error) {
 	elapsed := time.Since(s.start)
 
 	res := s.collect(elapsed, flagged)
+	if s.rec != nil {
+		res.TraceEvents = s.rec.Len()
+		trace := s.rec.Trace(workload.Header{
+			Scenario:    string(s.cfg.Scenario),
+			Nodes:       s.cfg.Nodes,
+			Objects:     s.cfg.Objects,
+			ObjectKbits: float64(s.cfg.ObjectSize) * 8 / 1000,
+			BlockKbits:  float64(s.cfg.BlockSize) * 8 / 1000,
+			Horizon:     elapsed.Seconds(),
+			Seed:        s.cfg.Seed,
+		})
+		if _, err := trace.WriteTo(cfg.Record); err != nil {
+			s.teardown()
+			return nil, fmt.Errorf("swarm: write trace: %w", err)
+		}
+	}
 	s.teardown()
 	return res, nil
 }
@@ -845,9 +927,24 @@ func (s *swarmRun) launchWants() {
 	}
 }
 
-// await drives one want to completion or the run deadline.
+// await drives one want to completion or the run deadline. Wave wants wait
+// out their scheduled arrival first; a deadline expiring before then fails
+// the want like any other unfinished download.
 func (s *swarmRun) await(p *peerState, w *wantState) {
 	defer s.waiters.Done()
+	if w.startAt > 0 {
+		t := time.NewTimer(w.startAt)
+		select {
+		case <-t.C:
+		case <-s.giveUp:
+			t.Stop()
+			s.fail(w)
+			return
+		}
+	}
+	if s.rec != nil {
+		s.rec.Request(time.Since(s.start).Seconds(), int(p.currentID()), int(w.obj))
+	}
 	backoff := 2 * time.Millisecond
 	for {
 		nd := p.current()
@@ -894,6 +991,61 @@ func (s *swarmRun) fail(w *wantState) {
 	w.mu.Lock()
 	w.failed = true
 	w.mu.Unlock()
+}
+
+// allSettled reports whether every want in ws has finished, either way.
+func allSettled(ws []*wantState) bool {
+	for _, w := range ws {
+		w.mu.Lock()
+		settled := w.done || w.failed
+		w.mu.Unlock()
+		if !settled {
+			return false
+		}
+	}
+	return true
+}
+
+// launchDepartures arms one monitor per peer with a scheduled session end
+// (wave cohorts). Monitors join via s.monitors, like the adversary ones.
+func (s *swarmRun) launchDepartures() {
+	for _, p := range s.peers {
+		if p.departAt <= 0 {
+			continue
+		}
+		s.monitors.Add(1)
+		go s.waveDeparture(p)
+	}
+}
+
+// waveDeparture takes a cohort peer offline for good: once its scheduled
+// session end passes and its own wants have settled, the node closes and the
+// departure is recorded. Waiting for the wants matters twice over — a run
+// with failed wants is a failed run (exchswarm exits nonzero), and the
+// recorded trace must not demand downloads the recorded session never left
+// room for.
+func (s *swarmRun) waveDeparture(p *peerState) {
+	defer s.monitors.Done()
+	t := time.NewTimer(p.departAt)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.giveUp:
+		return
+	}
+	for !allSettled(p.wants) {
+		poll := time.NewTimer(10 * time.Millisecond)
+		select {
+		case <-poll.C:
+		case <-s.giveUp:
+			poll.Stop()
+			return
+		}
+	}
+	p.current().Close()
+	if s.rec != nil {
+		s.rec.Depart(time.Since(s.start).Seconds(), int(p.currentID()))
+	}
 }
 
 // churn repeatedly closes a random peer and restarts it under the same

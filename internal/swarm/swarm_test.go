@@ -50,7 +50,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestScenariosListed(t *testing.T) {
-	if len(Scenarios()) != 8 {
+	if len(Scenarios()) != 9 {
 		t.Fatalf("Scenarios() = %v", Scenarios())
 	}
 }

@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// TraceVersion is the wire-format version this build reads and writes.
+// Bump it only for incompatible changes to Header or Event; readers reject
+// any other version outright rather than guessing (see docs/WORKLOADS.md
+// for the versioning rules).
+const TraceVersion = 1
+
+// The event kinds a trace records, in canonical tie-break order.
+const (
+	// KindHold declares that a peer holds an object at run start.
+	KindHold = "hold"
+	// KindArrive marks a session start: the peer is offline before T.
+	KindArrive = "arrive"
+	// KindRequest is one demand arrival: the peer wants the object at T.
+	KindRequest = "request"
+	// KindDepart marks a session end: the peer is offline after T.
+	KindDepart = "depart"
+)
+
+// Header is the first JSON line of a trace: enough about the recorded world
+// that a replaying simulator can rebuild a compatible one (population size,
+// object geometry, run horizon) without guessing.
+type Header struct {
+	// Kind is always "header" on the wire, distinguishing the first line.
+	Kind string `json:"kind"`
+	// Version is the wire-format version (TraceVersion).
+	Version int `json:"version"`
+	// Scenario labels where the trace came from (e.g. "wave").
+	Scenario string `json:"scenario,omitempty"`
+	// Nodes is the peer-id space: every event's Peer is in [0, Nodes).
+	Nodes int `json:"nodes"`
+	// Objects is the recorded catalog size (0 if unknown).
+	Objects int `json:"objects,omitempty"`
+	// ObjectKbits and BlockKbits carry the recorded transfer geometry so
+	// replay reproduces comparable transfer times (0 = keep replay defaults).
+	ObjectKbits float64 `json:"object_kbits,omitempty"`
+	BlockKbits  float64 `json:"block_kbits,omitempty"`
+	// Horizon is the recorded run length in seconds; every event's T is in
+	// [0, Horizon].
+	Horizon float64 `json:"horizon"`
+	// Seed is the recorded run's seed, for provenance only — replay seeds
+	// come from the replaying experiment's options.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Event is one JSON line after the header.
+type Event struct {
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// T is the event time in seconds from run start.
+	T float64 `json:"t"`
+	// Peer is the acting peer id, in [0, Header.Nodes).
+	Peer int `json:"peer"`
+	// Obj is the object id for hold/request events (unused for sessions).
+	Obj int `json:"obj,omitempty"`
+}
+
+// kindRank orders kinds within one (T, Peer, Obj) tie: holds before
+// arrivals before requests before departures.
+func kindRank(kind string) int {
+	switch kind {
+	case KindHold:
+		return 0
+	case KindArrive:
+		return 1
+	case KindRequest:
+		return 2
+	case KindDepart:
+		return 3
+	}
+	return 4
+}
+
+// Trace is a decoded trace: one header plus events in canonical order
+// (ascending T, then Peer, then Obj, then kind rank). Readers and the
+// Recorder always produce canonical order; Validate rejects anything else,
+// so the replay engine never has to sort — or mutate — a shared trace.
+type Trace struct {
+	Header Header
+	Events []Event
+}
+
+// less is the canonical event order.
+func less(a, b Event) bool {
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	if a.Peer != b.Peer {
+		return a.Peer < b.Peer
+	}
+	if a.Obj != b.Obj {
+		return a.Obj < b.Obj
+	}
+	return kindRank(a.Kind) < kindRank(b.Kind)
+}
+
+// canonicalize sorts events into canonical order.
+func (t *Trace) canonicalize() {
+	sort.SliceStable(t.Events, func(i, j int) bool { return less(t.Events[i], t.Events[j]) })
+}
+
+// PeerCount returns the effective peer-id space: the header's Nodes topped
+// up past the largest peer id any event references (whitewashed identities
+// recorded mid-run can exceed the initial population).
+func (t *Trace) PeerCount() int {
+	n := t.Header.Nodes
+	for _, ev := range t.Events {
+		if ev.Peer+1 > n {
+			n = ev.Peer + 1
+		}
+	}
+	return n
+}
+
+// Validate reports the first structural error: wrong version, malformed
+// events, or events out of canonical order.
+func (t *Trace) Validate() error {
+	if t.Header.Version != TraceVersion {
+		return fmt.Errorf("workload: unsupported trace version %d (this build reads version %d)",
+			t.Header.Version, TraceVersion)
+	}
+	if t.Header.Nodes < 1 {
+		return fmt.Errorf("workload: trace header: Nodes = %d, want >= 1", t.Header.Nodes)
+	}
+	if t.Header.Horizon <= 0 {
+		return fmt.Errorf("workload: trace header: Horizon = %v, want > 0", t.Header.Horizon)
+	}
+	for i, ev := range t.Events {
+		if kindRank(ev.Kind) > 3 {
+			return fmt.Errorf("workload: trace event %d: unknown kind %q", i, ev.Kind)
+		}
+		if ev.T < 0 || ev.Peer < 0 || ev.Obj < 0 {
+			return fmt.Errorf("workload: trace event %d: negative field", i)
+		}
+		if (ev.Kind == KindHold || ev.Kind == KindRequest) && ev.Obj == 0 && t.Header.Objects > 0 {
+			// Object ids on the wire are 1-based (0 would be dropped by
+			// omitempty); a zero object in a hold/request is a broken trace.
+			return fmt.Errorf("workload: trace event %d: %s without object", i, ev.Kind)
+		}
+		if i > 0 && less(ev, t.Events[i-1]) {
+			return fmt.Errorf("workload: trace event %d out of canonical order", i)
+		}
+	}
+	return nil
+}
+
+// WriteTo encodes the trace as JSON lines: the header line, then one line
+// per event. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	writeLine := func(v any) error {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		m, err := bw.Write(data)
+		n += int64(m)
+		return err
+	}
+	h := t.Header
+	h.Kind = "header"
+	h.Version = TraceVersion
+	if err := writeLine(h); err != nil {
+		return n, err
+	}
+	for _, ev := range t.Events {
+		if err := writeLine(ev); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace decodes a JSON-lines trace, canonicalizes the event order, and
+// validates it.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	t := &Trace{}
+	line := 0
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		line++
+		if line == 1 {
+			if err := json.Unmarshal(raw, &t.Header); err != nil {
+				return nil, fmt.Errorf("workload: trace line 1: %w", err)
+			}
+			if t.Header.Kind != "header" {
+				return nil, fmt.Errorf("workload: trace line 1: kind %q, want \"header\"", t.Header.Kind)
+			}
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		t.Events = append(t.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	if line == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	t.canonicalize()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Recorder accumulates events from a live run. It is safe for concurrent
+// use — swarm nodes record from their own goroutines — and defers all
+// ordering and header bookkeeping to Trace().
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Hold records that a peer holds an object at run start.
+func (r *Recorder) Hold(peer, obj int) { r.add(Event{Kind: KindHold, Peer: peer, Obj: obj}) }
+
+// Request records one demand arrival at t seconds.
+func (r *Recorder) Request(t float64, peer, obj int) {
+	r.add(Event{Kind: KindRequest, T: t, Peer: peer, Obj: obj})
+}
+
+// Arrive records a session start at t seconds.
+func (r *Recorder) Arrive(t float64, peer int) { r.add(Event{Kind: KindArrive, T: t, Peer: peer}) }
+
+// Depart records a session end at t seconds.
+func (r *Recorder) Depart(t float64, peer int) { r.add(Event{Kind: KindDepart, T: t, Peer: peer}) }
+
+func (r *Recorder) add(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Len returns how many events have been recorded so far.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Trace assembles the canonical trace under the given header. The header's
+// Nodes is topped up past the largest recorded peer id, and negative event
+// times (clock skew around the run-start instant) clamp to zero.
+func (r *Recorder) Trace(h Header) *Trace {
+	r.mu.Lock()
+	events := make([]Event, len(r.events))
+	copy(events, r.events)
+	r.mu.Unlock()
+	for i := range events {
+		if events[i].T < 0 {
+			events[i].T = 0
+		}
+	}
+	t := &Trace{Header: h, Events: events}
+	t.Header.Kind = "header"
+	t.Header.Version = TraceVersion
+	t.Header.Nodes = t.PeerCount()
+	t.canonicalize()
+	return t
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	rec := NewRecorder()
+	rec.Hold(0, 1)
+	rec.Hold(0, 2)
+	rec.Hold(1, 3)
+	rec.Request(0.5, 2, 1)
+	rec.Request(0.5, 2, 3)
+	rec.Request(0.25, 3, 2)
+	rec.Arrive(1.5, 4)
+	rec.Request(2.0, 4, 1)
+	rec.Depart(3.0, 4)
+	return rec.Trace(Header{Scenario: "test", Nodes: 5, Objects: 3, Horizon: 4,
+		ObjectKbits: 256, BlockKbits: 32})
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, orig)
+	}
+	// A second encode is byte-identical (canonical order is stable).
+	var buf2 bytes.Buffer
+	if _, err := got.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-encoded trace differs")
+	}
+}
+
+func TestTraceCanonicalOrder(t *testing.T) {
+	tr := sampleTrace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tr.Events); i++ {
+		if less(tr.Events[i], tr.Events[i-1]) {
+			t.Fatalf("events %d and %d out of order: %+v then %+v", i-1, i, tr.Events[i-1], tr.Events[i])
+		}
+	}
+	// Holds sort to the front (T=0).
+	if tr.Events[0].Kind != KindHold {
+		t.Errorf("first event is %q, want hold", tr.Events[0].Kind)
+	}
+}
+
+func TestRecorderTopsUpNodes(t *testing.T) {
+	rec := NewRecorder()
+	rec.Request(1, 41, 1) // whitewashed identity beyond the initial population
+	tr := rec.Trace(Header{Nodes: 10, Horizon: 2})
+	if tr.Header.Nodes != 42 {
+		t.Errorf("Nodes = %d, want 42", tr.Header.Nodes)
+	}
+	if tr.PeerCount() != 42 {
+		t.Errorf("PeerCount = %d, want 42", tr.PeerCount())
+	}
+}
+
+func TestRecorderClampsNegativeTimes(t *testing.T) {
+	rec := NewRecorder()
+	rec.Request(-0.001, 0, 1)
+	tr := rec.Trace(Header{Nodes: 1, Horizon: 1})
+	if tr.Events[0].T != 0 {
+		t.Errorf("negative time not clamped: %v", tr.Events[0].T)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rec.Request(float64(i), g, i+1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if rec.Len() != 800 {
+		t.Errorf("Len = %d, want 800", rec.Len())
+	}
+	tr := rec.Trace(Header{Nodes: 8, Horizon: 100})
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadTraceRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"not a header", `{"kind":"request","t":1,"peer":0,"obj":1}`},
+		{"bad version", `{"kind":"header","version":99,"nodes":2,"horizon":1}`},
+		{"bad json", "{"},
+		{"unknown kind", "{\"kind\":\"header\",\"version\":1,\"nodes\":2,\"horizon\":1}\n{\"kind\":\"explode\",\"t\":1,\"peer\":0}"},
+		{"negative time", "{\"kind\":\"header\",\"version\":1,\"nodes\":2,\"horizon\":1}\n{\"kind\":\"depart\",\"t\":-1,\"peer\":0}"},
+		{"zero object", "{\"kind\":\"header\",\"version\":1,\"nodes\":2,\"objects\":4,\"horizon\":1}\n{\"kind\":\"request\",\"t\":1,\"peer\":0}"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadTrace(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: ReadTrace accepted it", tc.name)
+		}
+	}
+}
+
+func TestValidateRejectsUnsorted(t *testing.T) {
+	tr := &Trace{
+		Header: Header{Version: TraceVersion, Nodes: 2, Horizon: 10},
+		Events: []Event{
+			{Kind: KindRequest, T: 5, Peer: 0, Obj: 1},
+			{Kind: KindRequest, T: 1, Peer: 0, Obj: 1},
+		},
+	}
+	if err := tr.Validate(); err == nil {
+		t.Error("out-of-order trace validated")
+	}
+}

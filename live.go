@@ -62,6 +62,8 @@ const (
 	SwarmChurn      = swarm.Churn
 	SwarmAdversary  = swarm.Adversary
 	SwarmMedfail    = swarm.Medfail
+	SwarmReshard    = swarm.Reshard
+	SwarmWave       = swarm.Wave
 )
 
 // MedClient verdict errors: a rejection proves the claimed sender cheated;

@@ -1,0 +1,35 @@
+#!/bin/sh
+# docs-check: the ROADMAP quickstart must not drift ahead of the CLIs.
+# Every `go run ./cmd/...` line it advertises is smoke-run — `-h` for each
+# distinct command, plus every `-list` line verbatim — and must exit 0.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+cmds=$(grep -o 'go run \./cmd/[a-z]*' ROADMAP.md | awk '{print $3}' | sort -u)
+if [ -z "$cmds" ]; then
+	echo "docs-check: no 'go run ./cmd/...' lines found in ROADMAP.md" >&2
+	exit 1
+fi
+for c in $cmds; do
+	if go run "$c" -h >/dev/null 2>&1; then
+		echo "ok   $c -h"
+	else
+		echo "FAIL $c -h (quickstart advertises a command that rejects -h)"
+		status=1
+	fi
+done
+
+# -list lines are cheap and their output is what the docs tell users to
+# start from, so run those exactly as written.
+lists=$(grep -o '^go run \./cmd/[a-z]* -list' ROADMAP.md | awk '{print $3}' | sort -u)
+for c in $lists; do
+	if go run "$c" -list >/dev/null 2>&1; then
+		echo "ok   $c -list"
+	else
+		echo "FAIL $c -list"
+		status=1
+	fi
+done
+
+exit $status
