@@ -13,7 +13,15 @@ BENCH_RAW  ?= /tmp/barter-bench-raw.txt
 # source of truth for the linter toolchain.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build test test-short test-full swarm-smoke soak fuzz-smoke bench bench-json bench-check fmt vet doccheck docs-check lint print-staticcheck-version check
+.PHONY: build test test-short test-full swarm-smoke soak fuzz-smoke bench bench-json bench-check fmt vet doccheck bartervet docs-check lint print-staticcheck-version check
+
+# The deterministic packages — the bartervet allowlist. Mirrored by
+# TestDeterministicPackagesAreClean and docs/DETERMINISM.md; change all
+# three together.
+DETERMINISTIC_PKGS = ./internal/sim ./internal/eventq ./internal/index \
+	./internal/core ./internal/credit ./internal/strategy \
+	./internal/workload ./internal/experiment ./internal/runner \
+	./internal/rng ./internal/metrics
 
 build:
 	$(GO) build ./...
@@ -87,11 +95,21 @@ vet:
 	$(GO) vet -tags race ./...
 
 ## doccheck: documentation-coverage lint — every package must carry a
-## package doc comment, and the workload layer (the documented public
-## surface of the trace/spec formats) must document every exported symbol.
+## package doc comment, and the layers with a documented public surface
+## (workload trace/spec formats, the mediator tier and its strategy
+## counterpart) must document every exported symbol.
 doccheck:
 	$(GO) run ./internal/tools/doccheck ./internal ./cmd ./examples .
-	$(GO) run ./internal/tools/doccheck -exported ./internal/workload
+	$(GO) run ./internal/tools/doccheck -exported ./internal/workload ./internal/mediator ./internal/strategy
+
+## bartervet: the determinism-contract analyzers (docs/DETERMINISM.md).
+## Map-order, wall-clock/global-rand, and pointer-identity dependence are
+## errors in the deterministic packages; swallowed Write/Sync/Close errors
+## are errors on the mediator durability and codec paths. Exceptions carry
+## a `//barter:allow <check> <reason>` waiver; stale waivers fail too.
+bartervet:
+	$(GO) run ./internal/tools/bartervet -checks maprange,walltime,ptrorder $(DETERMINISTIC_PKGS)
+	$(GO) run ./internal/tools/bartervet -checks unchecked-io ./internal/mediator ./internal/protocol
 
 ## docs-check: smoke-run every `go run ./cmd/...` line the ROADMAP
 ## quickstart advertises (-h per command, -list lines verbatim) so the
@@ -99,12 +117,13 @@ doccheck:
 docs-check:
 	./scripts/docs-check.sh
 
-## lint: gofmt + vet + doccheck, plus staticcheck's correctness analyses
-## (SA*) when the binary is available. Locally a missing staticcheck only warns, so the
-## target works in hermetic environments without network access; CI runs
-## with LINT_STRICT=1, where a missing binary is a hard failure — the lint
-## job must never silently skip its own linter.
-lint: fmt vet doccheck
+## lint: gofmt + vet + doccheck + bartervet (all hard failures), plus
+## staticcheck's correctness analyses (SA*) when the binary is available.
+## Locally a missing staticcheck only warns, so the target works in
+## hermetic environments without network access; CI runs with
+## LINT_STRICT=1, where a missing binary is a hard failure — the lint job
+## must never silently skip its own linter.
+lint: fmt vet doccheck bartervet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck -checks 'SA*' ./...; \
 	elif [ "$(LINT_STRICT)" = "1" ]; then \

@@ -177,6 +177,7 @@ func (m *Multimap[K, V]) Keys() int { return len(m.m) }
 // ForEachKey calls fn for every key with at least one id, in unspecified
 // order. Callers needing determinism must sort or otherwise canonicalize.
 func (m *Multimap[K, V]) ForEachKey(fn func(key K, s *Set[V]) bool) {
+	//barter:allow maprange unspecified order is this iterator's documented contract; deterministic callers must canonicalize (only the sim invariant sweeps use it)
 	for k, s := range m.m {
 		if !fn(k, s) {
 			return

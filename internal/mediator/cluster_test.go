@@ -10,6 +10,7 @@ import (
 	"barter/internal/medclient"
 	"barter/internal/mediator"
 	"barter/internal/protocol"
+	"barter/internal/testutil"
 	"barter/internal/transport"
 )
 
@@ -233,6 +234,7 @@ func TestClusterFailoverMidVerify(t *testing.T) {
 // the last word — the client consults the replica, whose write-through
 // deposit copy survived, and the verify succeeds.
 func TestClusterPrimaryRestartUsesReplicaEscrow(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t, 0)
 	tr, cl, content := clusterFixture(t, 4)
 	c, err := medclient.New(medclient.Config{Transport: tr, Seeds: cl.Addrs()})
 	if err != nil {
@@ -269,6 +271,7 @@ func TestClusterPrimaryRestartUsesReplicaEscrow(t *testing.T) {
 // with a restarted shard gets the transient no-key refusal, not a cheating
 // verdict.
 func TestClusterRestartLosesEscrowWithoutFlagging(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t, 0)
 	tr, cl, content := clusterFixture(t, 2)
 	c, err := medclient.New(medclient.Config{Transport: tr, Seeds: cl.Addrs()})
 	if err != nil {

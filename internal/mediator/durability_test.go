@@ -11,6 +11,7 @@ import (
 	"barter/internal/medclient"
 	"barter/internal/mediator"
 	"barter/internal/protocol"
+	"barter/internal/testutil"
 	"barter/internal/transport"
 )
 
@@ -59,6 +60,7 @@ func flagCheater(t *testing.T, c *medclient.Client, cheater core.PeerID, obj cat
 // restarts it from its log: both the escrowed key and the previously flagged
 // cheater must be intact — the tentpole's core promise.
 func TestShardRecoveryMidEscrow(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t, 0)
 	tr, cl, content := durableFixture(t, 2, t.TempDir())
 	c, err := medclient.New(medclient.Config{Transport: tr, Seeds: cl.Addrs()})
 	if err != nil {
@@ -110,6 +112,7 @@ func TestShardRecoveryMidEscrow(t *testing.T) {
 // a new one over the same data dir — the library-level equivalent of a
 // mediatord process restart. Detection history must carry over.
 func TestClusterRestartRecoversFromLog(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t, 0)
 	dir := t.TempDir()
 	tr, cl, _ := durableFixture(t, 2, dir)
 	c, err := medclient.New(medclient.Config{Transport: tr, Seeds: cl.Addrs()})

@@ -326,6 +326,17 @@ func (m *Mediator) untrack(c transport.Conn) {
 	m.connMu.Unlock()
 }
 
+// WALErr reports the first write-ahead-log append failure, or nil while the
+// shard is fully durable (or runs without a DataDir). A failing log
+// degrades the shard to in-memory durability — it keeps serving, but a
+// restart will forget whatever the log missed — so operators and soak
+// scenarios can distinguish "durable" from "running on memory".
+func (m *Mediator) WALErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.wal.Err()
+}
+
 // Flagged returns how many times a peer failed an audit.
 func (m *Mediator) Flagged(p core.PeerID) int {
 	m.mu.Lock()
@@ -363,7 +374,7 @@ func (m *Mediator) acceptLoop() {
 func (m *Mediator) serve(conn transport.Conn) {
 	defer m.wg.Done()
 	defer m.untrack(conn)
-	defer conn.Close() //nolint:errcheck // teardown
+	defer conn.Close() //barter:allow unchecked-io teardown: the peer sees the drop; nothing durable rides on this close
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
@@ -573,7 +584,7 @@ func (m *Mediator) replicateFlag(obj catalog.ObjectID, peer core.PeerID) {
 			return
 		}
 		defer m.untrack(conn)
-		defer conn.Close() //nolint:errcheck // teardown
+		defer conn.Close() //barter:allow unchecked-io teardown: the peer sees the drop; nothing durable rides on this close
 		if err := conn.Send(&protocol.MedHandoff{
 			From:  uint32(m.shard.Index),
 			Epoch: epoch,

@@ -15,6 +15,7 @@ import (
 	"barter/internal/medclient"
 	"barter/internal/mediator"
 	"barter/internal/protocol"
+	"barter/internal/testutil"
 	"barter/internal/transport"
 )
 
@@ -460,6 +461,7 @@ func TestShardOptsValidated(t *testing.T) {
 }
 
 func TestMediatorCloseIdempotent(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t, 0)
 	_, med, _, _ := fixture(t)
 	med.Close()
 	med.Close()
@@ -469,6 +471,7 @@ func TestMediatorCloseIdempotent(t *testing.T) {
 // hang: a connected client that never sends anything used to park a serve
 // goroutine in Recv forever, so Close's wg.Wait never returned.
 func TestMediatorCloseWithIdleClient(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t, 0)
 	tr, med, _, _ := fixture(t)
 	idle, err := tr.Dial("mem://mediator")
 	if err != nil {
@@ -497,6 +500,7 @@ func TestMediatorCloseWithIdleClient(t *testing.T) {
 // crowd: dozens of clients deposit and verify at once, then Close must still
 // return promptly with half of them left connected and idle.
 func TestMediatorManyConcurrentClients(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t, 0)
 	tr, med, obj, blocks := fixture(t)
 	const clients = 40
 	var wg sync.WaitGroup

@@ -31,6 +31,12 @@ const (
 
 type wal struct {
 	f *os.File
+	// err remembers the first append failure: the shard keeps serving from
+	// memory (degraded durability) but the loss is recorded and reported,
+	// never silently swallowed. Guarded by the owning shard's mutex, like
+	// every append.
+	err     error
+	dropped int // records lost since err, for the degraded notice
 }
 
 // walDeposit is one replayed escrow record.
@@ -154,12 +160,29 @@ func (w *wal) appendFlag(p core.PeerID, delta uint32) {
 	w.append(rec)
 }
 
-// append seals the record with its checksum and writes it. Best-effort: a
-// write failure (disk full, dir removed) degrades the shard to in-memory
-// durability rather than failing the client request.
+// append seals the record with its checksum and writes it. A write failure
+// (disk full, dir removed) degrades the shard to in-memory durability
+// rather than failing the client request — but visibly: the first failure
+// is remembered (see Err) and announced on stderr, and every lost record is
+// counted, so a restart that will forget state is never a surprise.
 func (w *wal) append(rec []byte) {
 	rec = binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
-	_, _ = w.f.Write(rec)
+	if _, err := w.f.Write(rec); err != nil {
+		w.dropped++
+		if w.err == nil {
+			w.err = err
+			fmt.Fprintf(os.Stderr, "mediator: wal %s: append failed, degrading to in-memory durability: %v\n", w.f.Name(), err)
+		}
+	}
+}
+
+// Err returns the first append failure, or nil while every record has
+// reached the log. A nil wal (shard without a DataDir) never fails.
+func (w *wal) Err() error {
+	if w == nil {
+		return nil
+	}
+	return w.err
 }
 
 func (w *wal) Close() {

@@ -117,6 +117,38 @@ func TestWALDropsCorruptRecordAndTail(t *testing.T) {
 	}
 }
 
+// TestWALAppendFailureSurfaces pins the degraded-durability contract: an
+// append that cannot reach the file keeps the shard serving, but the first
+// error is remembered and every lost record counted — never silently
+// swallowed (the unchecked-io contract in docs/DETERMINISM.md).
+func TestWALAppendFailureSurfaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0.wal")
+	w, err := openWAL(path, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Err() != nil {
+		t.Fatalf("fresh wal already degraded: %v", w.Err())
+	}
+	// Close the file out from under the log: every subsequent append must
+	// fail the way a revoked fd or torn-down filesystem would make it fail.
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.appendFlag(1, 1)
+	w.appendDeposit(walDeposit{exchange: 1, sender: 2, object: 3})
+	if w.Err() == nil {
+		t.Fatal("append onto a closed file reported no error")
+	}
+	if w.dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", w.dropped)
+	}
+	// A nil wal (no DataDir) is never degraded.
+	if (*wal)(nil).Err() != nil {
+		t.Fatal("nil wal reported an error")
+	}
+}
+
 func TestReadWALStateMissingFile(t *testing.T) {
 	deps, flags, err := readWALState(filepath.Join(t.TempDir(), "absent.wal"))
 	if err != nil {

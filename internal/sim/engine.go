@@ -973,9 +973,7 @@ func (s *Sim) DisconnectPeer(id core.PeerID) {
 	p.irq = p.irq[:0]
 	clear(p.irqIndex)
 	if p.sharing {
-		for o := range p.store {
-			s.removeHolder(o, p.id)
-		}
+		s.unindexStoredObjects(p)
 	}
 	if p.retryEv.Valid() {
 		s.q.Cancel(p.retryEv)
@@ -991,11 +989,28 @@ func (s *Sim) RejoinPeer(id core.PeerID) {
 	}
 	p.online = true
 	if p.sharing {
-		for o := range p.store {
-			s.addHolder(o, p.id)
-		}
+		s.indexStoredObjects(p)
 	}
 	s.issueRequests(p)
+}
+
+// indexStoredObjects enters every object in p's store into the holder
+// index, and unindexStoredObjects removes them — the shared step of going
+// online/offline and of flipping between contributing and free-riding.
+// Bitset add/remove is commutative and the loop body draws nothing from the
+// RNG, so the map's randomized visit order cannot leak into behavior.
+func (s *Sim) indexStoredObjects(p *peerState) {
+	//barter:allow maprange holder-bitset adds are commutative; no RNG draw or output sees the visit order
+	for o := range p.store {
+		s.addHolder(o, p.id)
+	}
+}
+
+func (s *Sim) unindexStoredObjects(p *peerState) {
+	//barter:allow maprange holder-bitset removes are commutative; no RNG draw or output sees the visit order
+	for o := range p.store {
+		s.removeHolder(o, p.id)
+	}
 }
 
 // --- strategy machinery ------------------------------------------------------
@@ -1034,9 +1049,7 @@ func (s *Sim) startContributing(p *peerState) {
 	}
 	p.sharing = true
 	s.col.classFlips[p.class]++
-	for o := range p.store {
-		s.addHolder(o, p.id)
-	}
+	s.indexStoredObjects(p)
 }
 
 // stopContributing reverts a peer to free-riding: its holdings leave the
@@ -1048,9 +1061,7 @@ func (s *Sim) stopContributing(p *peerState) {
 	}
 	p.sharing = false
 	s.col.classFlips[p.class]++
-	for o := range p.store {
-		s.removeHolder(o, p.id)
-	}
+	s.unindexStoredObjects(p)
 	// Snapshot uploads: terminations mutate p.uploads underneath us. The
 	// scratch is free here: completeDownload's own snapshot use has finished
 	// by the time it calls this, and no other user is on the stack.

@@ -141,6 +141,7 @@ func (s *Sim) checkHolders() error {
 		if !p.sharing || !p.online {
 			continue
 		}
+		//barter:allow maprange validation sweep: visits every entry, mutates nothing; order only picks which of several violations reports first
 		for obj := range p.store {
 			if !s.holders.Contains(obj, p.id) {
 				return fmt.Errorf("sharing peer %d stores %d but is not indexed", p.id, obj)

@@ -187,9 +187,7 @@ func (s *Sim) initialOffline(p *peerState) {
 	}
 	p.online = false
 	if p.sharing {
-		for o := range p.store {
-			s.removeHolder(o, p.id)
-		}
+		s.unindexStoredObjects(p)
 	}
 }
 

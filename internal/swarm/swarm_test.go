@@ -1,38 +1,12 @@
 package swarm
 
 import (
-	"runtime"
 	"strings"
 	"testing"
 	"time"
-)
 
-// leakCheck snapshots the goroutine count and verifies the run returned to
-// it (with slack for runtime helpers); the live stack spawns several
-// goroutines per connection, so hundreds of nodes leaking even one each is
-// unmistakable.
-func leakCheck(t *testing.T) func() {
-	t.Helper()
-	before := runtime.NumGoroutine()
-	return func() {
-		t.Helper()
-		deadline := time.Now().Add(10 * time.Second)
-		var after int
-		for {
-			runtime.GC() // let finished goroutines be reaped
-			after = runtime.NumGoroutine()
-			if after <= before+5 || time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(50 * time.Millisecond)
-		}
-		if after > before+5 {
-			buf := make([]byte, 1<<20)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
-		}
-	}
-}
+	"barter/internal/testutil"
+)
 
 func TestConfigValidation(t *testing.T) {
 	if _, err := Run(Config{}); err == nil {
@@ -63,7 +37,7 @@ func TestFlashCrowd(t *testing.T) {
 	if testing.Short() {
 		nodes = 120 // the race detector multiplies costs; stay second-scale
 	}
-	defer leakCheck(t)()
+	testutil.CheckGoroutineLeaks(t, 5)
 	res, err := Run(Config{Scenario: FlashCrowd, Nodes: nodes, Quick: true, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +60,7 @@ func TestFlashCrowd(t *testing.T) {
 // TestMixedWorkload drives the steady scenario and checks the aggregate
 // accounting adds up.
 func TestMixedWorkload(t *testing.T) {
-	defer leakCheck(t)()
+	testutil.CheckGoroutineLeaks(t, 5)
 	res, err := Run(Config{Scenario: Mixed, Nodes: 60, Quick: true, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +84,7 @@ func TestMixedWorkload(t *testing.T) {
 // with exchange priority — completes its downloads faster than the
 // non-sharing class, which launched its requests first and still waits.
 func TestFreeriderGap(t *testing.T) {
-	defer leakCheck(t)()
+	testutil.CheckGoroutineLeaks(t, 5)
 	res, err := Run(Config{Scenario: Freerider, Nodes: 40, Quick: true, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +116,7 @@ func TestFreeriderGap(t *testing.T) {
 // completes from honest seeds (per-block validation), and the mediator's
 // audit flags every cheater.
 func TestCheaterAudited(t *testing.T) {
-	defer leakCheck(t)()
+	testutil.CheckGoroutineLeaks(t, 5)
 	res, err := Run(Config{Scenario: Cheater, Nodes: 60, Quick: true, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -176,7 +150,7 @@ func TestCheaterAudited(t *testing.T) {
 // detection result must match the single-mediator run — every cheater
 // flagged.
 func TestCheaterAuditedShardedTier(t *testing.T) {
-	defer leakCheck(t)()
+	testutil.CheckGoroutineLeaks(t, 5)
 	res, err := Run(Config{Scenario: Cheater, Nodes: 60, Quick: true, Seed: 5, Mediators: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +180,7 @@ func TestCheaterAuditedShardedTier(t *testing.T) {
 // mid-run. Every download must still complete, every cheater must end up
 // flagged, and the audit machinery must show real node-side traffic.
 func TestMedfailScenario(t *testing.T) {
-	defer leakCheck(t)()
+	testutil.CheckGoroutineLeaks(t, 5)
 	res, err := Run(Config{
 		Scenario:        Medfail,
 		Nodes:           48,
@@ -257,7 +231,7 @@ func TestMedfailScenario(t *testing.T) {
 // actually ran, and — the tentpole criterion — zero detection-history flags
 // were lost across any reshape or the final full-tier restart.
 func TestReshardScenario(t *testing.T) {
-	defer leakCheck(t)()
+	testutil.CheckGoroutineLeaks(t, 5)
 	res, err := Run(Config{
 		Scenario: Reshard,
 		Nodes:    48,
@@ -304,7 +278,7 @@ func TestChurn(t *testing.T) {
 	if testing.Short() {
 		restarts = 50 // the acceptance floor, affordable under -race
 	}
-	defer leakCheck(t)()
+	testutil.CheckGoroutineLeaks(t, 5)
 	res, err := Run(Config{
 		Scenario: Churn,
 		Nodes:    nodes,
@@ -331,7 +305,7 @@ func TestChurn(t *testing.T) {
 // which exceeds the whitewash interval), and every class must still complete
 // all its downloads before the deadline.
 func TestAdversaryScenario(t *testing.T) {
-	defer leakCheck(t)()
+	testutil.CheckGoroutineLeaks(t, 5)
 	res, err := Run(Config{
 		Scenario:          Adversary,
 		Nodes:             32,
@@ -386,7 +360,7 @@ func TestAdversaryScenario(t *testing.T) {
 // produce exactly Nodes peers with ids inside [1, Nodes] — otherwise a
 // whitewasher's fresh identity could collide with a live initial peer.
 func TestAdversaryWorldStaysAtNodes(t *testing.T) {
-	defer leakCheck(t)()
+	testutil.CheckGoroutineLeaks(t, 5)
 	res, err := Run(Config{
 		Scenario:          Adversary,
 		Nodes:             8,
@@ -429,7 +403,7 @@ func TestSwarmOverTCP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP swarm skipped in -short (port churn under race)")
 	}
-	defer leakCheck(t)()
+	testutil.CheckGoroutineLeaks(t, 5)
 	res, err := Run(Config{Scenario: FlashCrowd, Nodes: 40, Quick: true, Seed: 9, TCP: true})
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"barter/internal/rng"
+	"barter/internal/testutil"
 	"barter/internal/workload"
 )
 
@@ -14,7 +15,7 @@ import (
 // recorded trace: every scheduled download completes, and the trace that
 // comes out parses, validates, and covers the run's holds and demand.
 func TestWaveScenario(t *testing.T) {
-	defer leakCheck(t)()
+	testutil.CheckGoroutineLeaks(t, 5)
 	var buf bytes.Buffer
 	res, err := Run(Config{Scenario: Wave, Nodes: 40, Quick: true, Seed: 9, Record: &buf})
 	if err != nil {
@@ -61,7 +62,7 @@ func TestWaveScenario(t *testing.T) {
 // checks the session edges reach the trace: arrive events for the late
 // cohort, depart events for the early one.
 func TestWaveCohortDepartures(t *testing.T) {
-	defer leakCheck(t)()
+	testutil.CheckGoroutineLeaks(t, 5)
 	spec, _ := workload.Builtin("constant")
 	spec.RequestsPerPeer = 2
 	spec.Cohorts = []workload.Cohort{

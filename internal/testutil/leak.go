@@ -1,0 +1,58 @@
+// Package testutil carries helpers shared by the test suites — currently
+// the goroutine-leak assertion used by the swarm and mediator close-path
+// tests. It is imported only from _test.go files; nothing here runs in
+// production binaries, so wall-clock waits are fine (the package is
+// deliberately outside the bartervet deterministic allowlist).
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakGrace bounds how long a cleanup waits for asynchronous teardown
+// (listeners unwinding accept loops, connections draining) before declaring
+// a leak. Package variable so the helper's own tests can shorten it.
+var leakGrace = 10 * time.Second
+
+// CheckGoroutineLeaks snapshots the goroutine count and registers a cleanup
+// that fails the test if, once the test body finishes, more than slack
+// goroutines above the snapshot are still running. Teardown is asynchronous
+// almost everywhere, so the cleanup polls (GC between probes, so finished
+// goroutines are reaped) before failing; on failure it dumps every
+// goroutine stack — the count alone never says who leaked.
+//
+// Call it first thing in a test, before the resources under test exist:
+//
+//	func TestClosePath(t *testing.T) {
+//		testutil.CheckGoroutineLeaks(t, 0)
+//		...
+//	}
+//
+// slack 0 is the right default for unit-scale fixtures; the hundreds-of-node
+// swarm scenarios allow a small residue (runtime-internal and transport
+// bookkeeping goroutines whose lifetime the test cannot see).
+func CheckGoroutineLeaks(t testing.TB, slack int) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakGrace)
+		var after int
+		for {
+			runtime.GC()
+			after = runtime.NumGoroutine()
+			if after <= before+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before the test, %d still running %v after it (slack %d)\n\n%s",
+			before, after, leakGrace, slack, buf[:n])
+	})
+}

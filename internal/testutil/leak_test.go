@@ -1,0 +1,125 @@
+package testutil
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder captures what CheckGoroutineLeaks reports without failing the
+// real test.
+type recorder struct {
+	testing.TB
+	cleanups []func()
+	errors   []string
+}
+
+func (r *recorder) Helper()          {}
+func (r *recorder) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, format)
+	r.errors = append(r.errors, stringify(args))
+}
+
+func stringify(args []any) string {
+	var b strings.Builder
+	for _, a := range args {
+		switch v := a.(type) {
+		case string:
+			b.WriteString(v)
+		case []byte:
+			b.Write(v)
+		}
+	}
+	return b.String()
+}
+
+func (r *recorder) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestNoLeakPasses(t *testing.T) {
+	r := &recorder{TB: t}
+	CheckGoroutineLeaks(r, 0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+	r.runCleanups()
+	if len(r.errors) != 0 {
+		t.Fatalf("clean test reported a leak: %v", r.errors)
+	}
+}
+
+func TestSlowTeardownWithinGracePasses(t *testing.T) {
+	r := &recorder{TB: t}
+	CheckGoroutineLeaks(r, 0)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	// Cleanup starts while the goroutine is still running; the grace poll
+	// must absorb it.
+	r.runCleanups()
+	<-done
+	if len(r.errors) != 0 {
+		t.Fatalf("teardown inside the grace period reported a leak: %v", r.errors)
+	}
+}
+
+func TestSlackAbsorbsResidue(t *testing.T) {
+	old := leakGrace
+	leakGrace = 100 * time.Millisecond
+	defer func() { leakGrace = old }()
+
+	r := &recorder{TB: t}
+	CheckGoroutineLeaks(r, 1)
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop // one parked goroutine: inside the slack budget
+		close(done)
+	}()
+	<-started
+	r.runCleanups()
+	// Unpark and wait it out, so the next test's snapshot starts clean.
+	close(stop)
+	<-done
+	if len(r.errors) != 0 {
+		t.Fatalf("residue within slack reported as a leak: %v", r.errors)
+	}
+}
+
+func TestLeakIsReportedWithStacks(t *testing.T) {
+	old := leakGrace
+	leakGrace = 200 * time.Millisecond
+	defer func() { leakGrace = old }()
+
+	r := &recorder{TB: t}
+	CheckGoroutineLeaks(r, 0)
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop // parked for the whole grace period: a leak by construction
+		close(done)
+	}()
+	<-started
+	r.runCleanups()
+	close(stop)
+	<-done
+	if len(r.errors) == 0 {
+		t.Fatal("parked goroutine was not reported")
+	}
+	report := strings.Join(r.errors, "\n")
+	if !strings.Contains(report, "TestLeakIsReportedWithStacks") {
+		t.Fatalf("report does not carry the leaking stack:\n%s", report)
+	}
+}

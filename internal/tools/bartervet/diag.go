@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// waiverPrefix introduces an inline suppression: `//barter:allow <check>
+// <reason>` on the flagged line or the line directly above it. The reason
+// is mandatory and free-form; it is the audit trail for why the contract
+// does not bind at that site.
+const waiverPrefix = "//barter:allow"
+
+// waiver is one parsed suppression comment.
+type waiver struct {
+	file   string
+	line   int
+	check  string
+	reason string
+	bad    string // non-empty: the waiver itself is malformed
+	used   bool
+}
+
+// finding is one pre-waiver diagnostic.
+type finding struct {
+	file  string
+	line  int
+	check string
+	msg   string
+}
+
+// diags collects one unit's findings and matches them against the unit's
+// waiver comments when reporting.
+type diags struct {
+	u       *unit
+	check   string // name of the analyzer currently running
+	ran     map[string]bool
+	items   []finding
+	waivers []*waiver
+}
+
+// newDiags scans the unit's comments for waivers and prepares a collector
+// for the given check list.
+func newDiags(u *unit, checks []string) *diags {
+	d := &diags{u: u, ran: make(map[string]bool, len(checks))}
+	for _, c := range checks {
+		d.ran[c] = true
+	}
+	for _, f := range u.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, waiverPrefix) {
+					continue
+				}
+				pos := u.fset.Position(c.Pos())
+				w := &waiver{file: pos.Filename, line: pos.Line}
+				rest := strings.TrimPrefix(c.Text, waiverPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //barter:allowlist — not a waiver
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					w.bad = "waiver names no check"
+				case analyzers[fields[0]] == nil:
+					w.bad = fmt.Sprintf("waiver names unknown check %q", fields[0])
+				case len(fields) < 2:
+					w.bad = fmt.Sprintf("waiver for %s carries no reason", fields[0])
+				default:
+					w.check = fields[0]
+					w.reason = strings.Join(fields[1:], " ")
+				}
+				d.waivers = append(d.waivers, w)
+			}
+		}
+	}
+	return d
+}
+
+// addf records a finding for the currently running check.
+func (d *diags) addf(pos token.Pos, format string, args ...any) {
+	p := d.u.fset.Position(pos)
+	d.items = append(d.items, finding{
+		file:  p.Filename,
+		line:  p.Line,
+		check: d.check,
+		msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// report matches findings against waivers and returns the surviving
+// problems: unwaived findings, malformed waivers, and waivers no finding
+// used (a stale waiver hides nothing and must be deleted).
+func (d *diags) report() []string {
+	var out []string
+	for _, f := range d.items {
+		if w := d.waiverFor(f); w != nil {
+			w.used = true
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s:%d: %s: %s", f.file, f.line, f.check, f.msg))
+	}
+	for _, w := range d.waivers {
+		if w.bad != "" {
+			out = append(out, fmt.Sprintf("%s:%d: waiver: %s", w.file, w.line, w.bad))
+			continue
+		}
+		if !w.used && d.ran[w.check] {
+			out = append(out, fmt.Sprintf("%s:%d: waiver: nothing here trips %s; delete the stale waiver", w.file, w.line, w.check))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// waiverFor returns the waiver covering a finding: same check, same file,
+// on the finding's line or the line directly above it.
+func (d *diags) waiverFor(f finding) *waiver {
+	for _, w := range d.waivers {
+		if w.bad == "" && w.check == f.check && w.file == f.file &&
+			(w.line == f.line || w.line == f.line-1) {
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// unit is one type-checked set of files: a package together with its
+// in-package test files, or a package's external _test package. Analyzers
+// see every file and filter _test.go themselves where the contract only
+// binds non-test code.
+type unit struct {
+	dir   string
+	fset  *token.FileSet
+	files []*ast.File
+	info  *types.Info
+	pkg   *types.Package
+}
+
+// typeString renders a type with local names bare and imported names
+// package-qualified, matching how the source spells them.
+func (u *unit) typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string {
+		if p == u.pkg {
+			return ""
+		}
+		return p.Name()
+	})
+}
+
+// loader parses and type-checks package directories. One shared FileSet and
+// one shared source importer serve every load, so each dependency package is
+// compiled from source at most once per run.
+type loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+func newLoader() *loader {
+	// The source importer compiles dependencies with go/build's default
+	// context. Disabling cgo keeps that pure-Go (net and friends fall back
+	// to their Go implementations), so the tool runs hermetically — no C
+	// toolchain, no network.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// load parses dir and returns its check units: the package including its
+// in-package test files, plus the external _test package when one exists.
+func (l *loader) load(dir string) ([]*unit, error) {
+	pkgs, err := parser.ParseDir(l.fset, dir, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic unit order: package names sorted, external test
+	// packages naturally follow their package (foo < foo_test).
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var units []*unit
+	for _, name := range names {
+		fileNames := make([]string, 0, len(pkgs[name].Files))
+		for fname := range pkgs[name].Files {
+			fileNames = append(fileNames, fname)
+		}
+		sort.Strings(fileNames)
+		files := make([]*ast.File, 0, len(fileNames))
+		for _, fname := range fileNames {
+			files = append(files, pkgs[name].Files[fname])
+		}
+		u, err := l.check(dir, name, files)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// check type-checks one file set as a package.
+func (l *loader) check(dir, name string, files []*ast.File) (*unit, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: l.imp,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(dir+":"+name, l.fset, files, info)
+	if err != nil && typeErr == nil {
+		typeErr = err
+	}
+	if typeErr != nil {
+		return nil, fmt.Errorf("type-checking %s (package %s): %v", dir, name, typeErr)
+	}
+	return &unit{dir: dir, fset: l.fset, files: files, info: info, pkg: pkg}, nil
+}
+
+// goDirs returns every directory under root that contains Go files,
+// skipping testdata trees (mirrors doccheck).
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// isTestFile reports whether the file holding pos is a _test.go file.
+func (u *unit) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(u.fset.Position(pos).Filename, "_test.go")
+}

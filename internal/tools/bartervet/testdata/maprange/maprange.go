@@ -1,0 +1,69 @@
+// Package maprangetd seeds the maprange analyzer's golden test: each
+// violation here must appear in testdata/maprange.golden, and each accepted
+// shape must not.
+package maprangetd
+
+import (
+	"sort"
+	"strings"
+)
+
+// Keyed is a named map type: the check must see through the name.
+type Keyed map[string]int
+
+// Violations reintroduces the seeded contract breaches.
+func Violations(m map[string]int, k Keyed) string {
+	var out []string
+	for key := range m { // flagged: key order escapes into out
+		out = append(out, key)
+	}
+	for key, v := range k { // flagged: named map type, both sides used
+		if v > 0 {
+			out = append(out, key)
+		}
+	}
+	var sum float64
+	for _, v := range m { // flagged: float accumulation order changes the rounding
+		sum += 1 / float64(v)
+	}
+	collected := make([]string, 0, len(m))
+	for key := range m { // flagged: collected but never sorted
+		collected = append(collected, key)
+	}
+	_ = sum
+	return strings.Join(out, ",") + strings.Join(collected, ",")
+}
+
+// Accepted holds every shape the check passes without a waiver.
+func Accepted(m map[string]int) ([]string, []string, int) {
+	// The canonical collect-and-sort idiom.
+	keys := make([]string, 0, len(m))
+	for key := range m {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	// Filtered collect-and-sort, with bookkeeping between loop and sort.
+	big := make([]string, 0, len(m))
+	for key, v := range m {
+		if v > 10 {
+			big = append(big, key)
+		}
+	}
+	count := len(big)
+	sort.Slice(big, func(i, j int) bool { return big[i] < big[j] })
+
+	// Count-only ranges observe no order.
+	n := 0
+	for range m {
+		n++
+	}
+
+	// Waived: the body only feeds an order-insensitive aggregate.
+	total := 0
+	//barter:allow maprange summation is commutative; no order reaches the result
+	for _, v := range m {
+		total += v
+	}
+	return keys, big, n + count + total
+}

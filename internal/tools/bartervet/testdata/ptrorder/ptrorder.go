@@ -1,0 +1,38 @@
+// Package ptrordertd seeds the ptrorder analyzer's golden test.
+package ptrordertd
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"unsafe"
+)
+
+// Node is a pointer-linked element whose address must never order anything.
+type Node struct {
+	Next *Node
+	ID   int
+}
+
+// Violations observes pointer numeric values four ways.
+func Violations(nodes []*Node) string {
+	sort.Slice(nodes, func(i, j int) bool {
+		return uintptr(unsafe.Pointer(nodes[i])) < uintptr(unsafe.Pointer(nodes[j])) // flagged twice
+	})
+	s := fmt.Sprintf("%p", nodes[0])                     // flagged: %p
+	s += fmt.Sprintf("node at %+p", nodes[0])            // flagged: %+p counts too
+	s += fmt.Sprint(reflect.ValueOf(nodes[0]).Pointer()) // flagged: reflect identity
+	return s
+}
+
+// Accepted orders by identity the deterministic way and may escape a verb.
+func Accepted(nodes []*Node) string {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	s := fmt.Sprintf("100%% of %d nodes", len(nodes)) // %% escape: fine
+	s += fmt.Sprintf("%d", nodes[0].ID)               // ordinary verbs: fine
+	s += fmt.Sprintf("escape it as %%p")              // literal %p via escape: fine
+
+	//barter:allow ptrorder debug-only dump; never parsed back into state
+	s += fmt.Sprintf("%p", nodes[0])
+	return s
+}

@@ -1,0 +1,52 @@
+// Package uncheckediotd seeds the unchecked-io analyzer's golden test.
+package uncheckediotd
+
+import (
+	"bytes"
+	"os"
+	"strings"
+)
+
+// journal mimics the WAL shape: a homegrown type whose Write/Sync errors
+// are durability.
+type journal struct {
+	f *os.File
+}
+
+func (j *journal) Write(p []byte) (int, error) { return j.f.Write(p) }
+func (j *journal) Sync() error                 { return j.f.Sync() }
+func (j *journal) Close()                      {} // no error result: never flagged
+
+// Violations drops durability errors every way the check catches.
+func Violations(f *os.File, j *journal, rec []byte) {
+	f.Write(rec)        // flagged: bare write
+	_, _ = f.Write(rec) // flagged: blank-discarded write
+	_ = f.Sync()        // flagged: blank-discarded sync
+	j.Write(rec)        // flagged: homegrown writer, bare
+	defer f.Close()     // flagged: deferred close drops the error
+}
+
+// Accepted checks, visibly discards a close, or writes where failure is
+// impossible.
+func Accepted(f *os.File, j *journal, rec []byte) error {
+	if _, err := f.Write(rec); err != nil {
+		return err
+	}
+	_ = f.Close() // explicit, visible decision: fine
+	j.Close()     // returns no error: fine
+
+	var buf bytes.Buffer
+	buf.Write(rec) // bytes.Buffer cannot fail: fine
+	var sb strings.Builder
+	sb.WriteString("x") // strings.Builder cannot fail: fine
+
+	w, err := os.Create("out")
+	if err != nil {
+		return err
+	}
+	defer w.Close() //barter:allow unchecked-io teardown on the error path; the success path syncs and closes below
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	return w.Sync()
+}

@@ -1,0 +1,38 @@
+// Package waiverstd seeds the waiver-machinery golden test: a waiver must
+// name a known check, carry a reason, and actually cover a finding —
+// otherwise the waiver itself is the violation, so the inventory of
+// exemptions cannot rot.
+package waiverstd
+
+import "sort"
+
+// Covered is a correct waiver: used, so silent.
+func Covered(m map[string]int) int {
+	n := 0
+	//barter:allow maprange counting is order-insensitive
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Broken holds one of each waiver failure mode.
+func Broken(m map[string]int) []string {
+	//barter:allow maprange
+	for k := range m { // the reason-less waiver does not cover this: both lines flagged
+		delete(m, k+"x")
+	}
+
+	//barter:allow mapreange typo in the check name
+	for k := range m { // unknown check: both lines flagged
+		delete(m, k+"y")
+	}
+
+	//barter:allow maprange stale: the loop below collects and sorts, so nothing trips
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

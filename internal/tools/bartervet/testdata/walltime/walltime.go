@@ -1,0 +1,34 @@
+// Package walltimetd seeds the walltime analyzer's golden test.
+package walltimetd
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Violations reads the wall clock and the global rand source.
+func Violations() float64 {
+	start := time.Now()                      // flagged
+	time.Sleep(1)                            // flagged
+	d := time.Since(start)                   // flagged
+	deadline := time.After(time.Millisecond) // flagged
+	<-deadline
+	f := rand.Float64()                // flagged: global source
+	n := rand.Intn(10)                 // flagged: global source
+	rand.Shuffle(n, func(i, j int) {}) // flagged: global source
+	return d.Seconds() + f + float64(n)
+}
+
+// Accepted uses explicitly seeded randomness and non-clock time helpers.
+func Accepted(seed int64) (float64, time.Time) {
+	r := rand.New(rand.NewSource(seed)) // seeded constructor: fine
+	z := rand.NewZipf(r, 1.2, 1, 100)   // takes the seeded source: fine
+	v := r.Float64() + float64(z.Uint64())
+
+	var d time.Duration = time.Millisecond // the type and constants are fine
+	_ = d
+
+	//barter:allow walltime progress logging only; never feeds results
+	t := time.Now()
+	return v, t.Add(d)
+}

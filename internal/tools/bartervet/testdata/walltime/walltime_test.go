@@ -1,0 +1,21 @@
+package walltimetd
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Unlike the other checks, walltime covers _test.go files too: a test that
+// reads the wall clock or the unseeded global source is a flaky test. Both
+// lines below must appear in the golden file.
+
+// FlakyForTest draws from the global source at a wall-clock moment.
+func FlakyForTest() int64 {
+	return time.Now().UnixNano() + rand.Int63() // flagged twice
+}
+
+// SeededForTest is how the real test suites do it.
+func SeededForTest() int64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Int63()
+}

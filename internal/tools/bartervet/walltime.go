@@ -1,0 +1,63 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package time entry points that read or wait on the
+// wall clock. Referencing any of them — call or function value — makes a
+// deterministic package's behavior depend on when it runs.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// seededRandFuncs are the math/rand constructors that build an explicitly
+// seeded generator; everything else at package level draws from the shared
+// global source, which is seeded randomly at program start.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors, should the module ever migrate.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// checkWallTime flags wall-clock reads and global math/rand draws. Unlike
+// the other checks this one covers _test.go files too: a test that reads
+// the wall clock or the unseeded global source is a flaky test, and the
+// round-trip invariant tests are themselves part of the determinism
+// evidence.
+func checkWallTime(u *unit, d *diags) {
+	for _, f := range u.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := u.info.Uses[pkg].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					d.addf(sel.Pos(), "wall clock: time.%s makes behavior depend on when the run happens; thread simulated time through instead", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				obj, ok := u.info.Uses[sel.Sel].(*types.Func)
+				if !ok || seededRandFuncs[sel.Sel.Name] {
+					return true // a type, or an explicitly seeded constructor
+				}
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true // method on a seeded *rand.Rand value
+				}
+				d.addf(sel.Pos(), "global math/rand: rand.%s draws from the shared unseeded source; use a local rand.New(rand.NewSource(seed)) or the rng package", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
