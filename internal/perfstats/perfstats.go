@@ -30,12 +30,19 @@ type Snapshot struct {
 	SearchWantsChecked uint64
 	// RingsStarted counts rings that passed validation and started.
 	RingsStarted uint64
+	// Domains, Barriers, and CrossMsgs describe sharded runs: event-loop
+	// domains driven, epoch barriers crossed, and cross-partition mailbox
+	// messages applied. All three stay zero for single-threaded runs.
+	Domains   uint64
+	Barriers  uint64
+	CrossMsgs uint64
 }
 
 var global struct {
-	runs, events           atomic.Uint64
-	searches, nodes, wants atomic.Uint64
-	rings                  atomic.Uint64
+	runs, events             atomic.Uint64
+	searches, nodes, wants   atomic.Uint64
+	rings                    atomic.Uint64
+	domains, barriers, xmsgs atomic.Uint64
 }
 
 // AddRun folds one run's counters into the global aggregate.
@@ -46,6 +53,9 @@ func AddRun(s Snapshot) {
 	global.nodes.Add(s.SearchNodesVisited)
 	global.wants.Add(s.SearchWantsChecked)
 	global.rings.Add(s.RingsStarted)
+	global.domains.Add(s.Domains)
+	global.barriers.Add(s.Barriers)
+	global.xmsgs.Add(s.CrossMsgs)
 }
 
 // Current returns the aggregate since process start (or the last Reset).
@@ -57,6 +67,9 @@ func Current() Snapshot {
 		SearchNodesVisited: global.nodes.Load(),
 		SearchWantsChecked: global.wants.Load(),
 		RingsStarted:       global.rings.Load(),
+		Domains:            global.domains.Load(),
+		Barriers:           global.barriers.Load(),
+		CrossMsgs:          global.xmsgs.Load(),
 	}
 }
 
@@ -69,6 +82,9 @@ func Reset() {
 	global.nodes.Store(0)
 	global.wants.Store(0)
 	global.rings.Store(0)
+	global.domains.Store(0)
+	global.barriers.Store(0)
+	global.xmsgs.Store(0)
 }
 
 // Sub returns s - t field-wise; use it to scope a Snapshot to an interval.
@@ -80,6 +96,9 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		SearchNodesVisited: s.SearchNodesVisited - t.SearchNodesVisited,
 		SearchWantsChecked: s.SearchWantsChecked - t.SearchWantsChecked,
 		RingsStarted:       s.RingsStarted - t.RingsStarted,
+		Domains:            s.Domains - t.Domains,
+		Barriers:           s.Barriers - t.Barriers,
+		CrossMsgs:          s.CrossMsgs - t.CrossMsgs,
 	}
 }
 
@@ -113,6 +132,10 @@ func (t *Timer) Report() string {
 	fmt.Fprintf(&b, "perf: events     %d (%.0f events/s)\n", s.Events, rate(s.Events, wall))
 	fmt.Fprintf(&b, "perf: searches   %d (%d nodes visited, %d want probes, %d rings started)\n",
 		s.RingSearches, s.SearchNodesVisited, s.SearchWantsChecked, s.RingsStarted)
+	if s.Domains > 0 {
+		fmt.Fprintf(&b, "perf: shards     %d domain(s), %d barrier(s), %d cross-partition msg(s)\n",
+			s.Domains, s.Barriers, s.CrossMsgs)
+	}
 	fmt.Fprintf(&b, "perf: alloc      %d objects, %s", allocObjs, bytesHuman(allocBytes))
 	if s.Events > 0 {
 		fmt.Fprintf(&b, " (%.2f objects/event)", float64(allocObjs)/float64(s.Events))

@@ -8,7 +8,6 @@
 package protocol
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -420,18 +419,27 @@ func New(t Type) (Message, error) {
 
 // Encode serializes msg into a self-delimiting frame.
 func Encode(msg Message) ([]byte, error) {
-	w := &writer{}
-	msg.encode(w)
-	payload := w.buf.Bytes()
-	if len(payload)+1 > MaxFrame {
+	return AppendEncode(nil, msg)
+}
+
+// AppendEncode serializes msg into a self-delimiting frame appended to dst
+// and returns the extended slice. Senders on a hot path pass a retained
+// scratch buffer (dst[:0]) so steady-state encoding allocates nothing; the
+// returned slice must not be retained past the next AppendEncode into the
+// same scratch.
+func AppendEncode(dst []byte, msg Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0) // header hole, patched below
+	w := writer{buf: dst}
+	msg.encode(&w)
+	dst = w.buf
+	payload := len(dst) - start - 5
+	if payload+1 > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	out := make([]byte, 0, 5+len(payload))
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
-	hdr[4] = byte(msg.Type())
-	out = append(out, hdr[:]...)
-	return append(out, payload...), nil
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(payload+1))
+	dst[start+4] = byte(msg.Type())
+	return dst, nil
 }
 
 // Decode parses one frame from r (blocking until a full frame arrives).
@@ -461,11 +469,13 @@ func Decode(r io.Reader) (Message, error) {
 
 // --- primitive codec -------------------------------------------------------
 
-type writer struct{ buf bytes.Buffer }
+// writer appends directly to the caller's frame buffer, so one encode is at
+// most one allocation (the append growth) and zero at steady state.
+type writer struct{ buf []byte }
 
-func (w *writer) u8(v uint8)   { w.buf.WriteByte(v) }
-func (w *writer) u32(v uint32) { var b [4]byte; binary.BigEndian.PutUint32(b[:], v); w.buf.Write(b[:]) }
-func (w *writer) u64(v uint64) { var b [8]byte; binary.BigEndian.PutUint64(b[:], v); w.buf.Write(b[:]) }
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
 func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
 func (w *writer) boolean(v bool) {
 	if v {
@@ -478,12 +488,11 @@ func (w *writer) str(s string) {
 	if len(s) > 0xffff {
 		s = s[:0xffff]
 	}
-	var b [2]byte
-	binary.BigEndian.PutUint16(b[:], uint16(len(s)))
-	w.buf.Write(b[:])
-	w.buf.WriteString(s)
+	w.buf = binary.BigEndian.AppendUint16(w.buf, uint16(len(s)))
+	w.buf = append(w.buf, s...)
 }
-func (w *writer) bytes(p []byte) { w.u32(uint32(len(p))); w.buf.Write(p) }
+func (w *writer) bytes(p []byte) { w.u32(uint32(len(p))); w.buf = append(w.buf, p...) }
+func (w *writer) raw(p []byte)   { w.buf = append(w.buf, p...) }
 
 type reader struct {
 	buf []byte
@@ -693,7 +702,7 @@ func (m *Manifest) encode(w *writer) {
 	w.u64(m.Session)
 	w.u32(uint32(len(m.Digests)))
 	for _, d := range m.Digests {
-		w.buf.Write(d[:])
+		w.raw(d[:])
 	}
 }
 func (m *Manifest) decode(r *reader) error {
@@ -758,7 +767,7 @@ func (m *MedDeposit) encode(w *writer) {
 	w.u64(m.ExchangeID)
 	w.i32(int32(m.Sender))
 	w.i32(int32(m.Object))
-	w.buf.Write(m.Key[:])
+	w.raw(m.Key[:])
 }
 func (m *MedDeposit) decode(r *reader) error {
 	m.ExchangeID = r.u64()
@@ -802,7 +811,7 @@ func (m *MedVerify) decode(r *reader) error {
 
 func (m *MedKey) encode(w *writer) {
 	w.u64(m.ExchangeID)
-	w.buf.Write(m.Key[:])
+	w.raw(m.Key[:])
 }
 func (m *MedKey) decode(r *reader) error {
 	m.ExchangeID = r.u64()
@@ -863,7 +872,7 @@ func (m *MedHandoff) encode(w *writer) {
 		w.u64(d.ExchangeID)
 		w.i32(int32(d.Sender))
 		w.i32(int32(d.Object))
-		w.buf.Write(d.Key[:])
+		w.raw(d.Key[:])
 	}
 	w.u32(uint32(len(m.Flags)))
 	for _, f := range m.Flags {

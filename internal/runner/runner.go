@@ -192,7 +192,7 @@ func label(j Job) string {
 }
 
 func runOne(cfg sim.Config) (*sim.Result, error) {
-	s, err := sim.New(cfg)
+	s, err := sim.NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -67,9 +67,12 @@ type tcpConn struct {
 	writeTimeout time.Duration
 
 	// sendMu serializes writers; bufio.Writer is flushed per message so a
-	// frame is never interleaved or half-buffered across Sends.
-	sendMu sync.Mutex
-	bw     *bufio.Writer
+	// frame is never interleaved or half-buffered across Sends. sendBuf is
+	// the connection's encode scratch, guarded by the same lock: steady-state
+	// sends (block transfers above all) re-encode into it without allocating.
+	sendMu  sync.Mutex
+	bw      *bufio.Writer
+	sendBuf []byte
 }
 
 func newTCPConn(nc net.Conn, readTimeout, writeTimeout time.Duration) *tcpConn {
@@ -83,12 +86,13 @@ func newTCPConn(nc net.Conn, readTimeout, writeTimeout time.Duration) *tcpConn {
 }
 
 func (c *tcpConn) Send(msg protocol.Message) error {
-	frame, err := protocol.Encode(msg)
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	frame, err := protocol.AppendEncode(c.sendBuf[:0], msg)
 	if err != nil {
 		return err
 	}
-	c.sendMu.Lock()
-	defer c.sendMu.Unlock()
+	c.sendBuf = frame
 	if c.writeTimeout > 0 {
 		if err := c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
 			return err
