@@ -40,13 +40,15 @@ test-full:
 
 ## swarm-smoke: race-enabled live-network scenarios CI runs on every push —
 ## a 120-node flash crowd, a 100-node churn run (60 close/restart cycles),
-## a 120-node cheater run against a 4-shard mediator tier, and a medfail
-## run that kills mediator shards mid-run, so shutdown, backpressure, and
+## a 120-node cheater run against a 4-shard mediator tier, the same cheater
+## mix with downloads striped across 3 origins, and a medfail run that
+## kills mediator shards mid-run, so shutdown, backpressure, striping, and
 ## mediator-failover paths stay exercised outside the unit suite too.
 swarm-smoke:
 	$(GO) run -race ./cmd/exchswarm -scenario flashcrowd -nodes 120 -quick
 	$(GO) run -race ./cmd/exchswarm -scenario churn -nodes 100 -restarts 60 -quick
 	$(GO) run -race ./cmd/exchswarm -scenario cheater -nodes 120 -mediators 4 -quick
+	$(GO) run -race ./cmd/exchswarm -scenario cheater -nodes 80 -mediators 4 -stripe 3 -quick
 	$(GO) run -race ./cmd/exchswarm -scenario medfail -nodes 80 -mediators 4 -quick
 
 ## shard-smoke: a race-enabled sharded-engine run CI includes in the short
@@ -76,15 +78,19 @@ bench:
 ## bench-json: run the benchmark suite and emit the machine-readable
 ## trajectory point (BENCH_2.json at the repo root). The headline
 ## BenchmarkSimulationEventRate gets extra repetitions so the recorded
-## number is the least-noise observation.
+## number is the least-noise observation, and BenchmarkMediatorVerify gets
+## enough iterations for the pipelined clients to actually overlap RPCs
+## (at -benchtime 1x a pipeline of one request is no pipeline at all).
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > $(BENCH_RAW)
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulationEventRate$$' -benchtime 2x -count 3 . >> $(BENCH_RAW)
+	$(GO) test -run '^$$' -bench 'BenchmarkMediatorVerify$$' -benchtime 300x -count 2 . >> $(BENCH_RAW)
 	$(GO) run ./cmd/benchjson -in $(BENCH_RAW) -out $(BENCH_JSON)
 
 ## bench-check: regenerate the trajectory point and fail if the engine
-## event rate (single-threaded or sharded) — or the sharded mediator's
-## audit throughput — regressed >15% against the committed baseline.
+## event rate (single-threaded or sharded) — or the mediator tier's audit
+## throughput, serialized or pipelined — regressed >15% against the
+## committed baseline.
 bench-check:
 	$(MAKE) bench-json BENCH_JSON=/tmp/barter-bench-head.json
 	$(GO) run ./cmd/benchjson -compare BENCH_2.json -new /tmp/barter-bench-head.json \
@@ -93,6 +99,8 @@ bench-check:
 		-bench BenchmarkSimulationEventRate/shards=4 -metric events/s -tolerance 0.15
 	$(GO) run ./cmd/benchjson -compare BENCH_2.json -new /tmp/barter-bench-head.json \
 		-bench BenchmarkMediatorVerify/shards=4 -metric verifies/s -tolerance 0.15
+	$(GO) run ./cmd/benchjson -compare BENCH_2.json -new /tmp/barter-bench-head.json \
+		-bench BenchmarkMediatorVerify/pipelined=8 -metric verifies/s -tolerance 0.15
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

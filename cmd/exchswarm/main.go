@@ -13,6 +13,7 @@
 //	exchswarm -scenario mixed -nodes 50 -tcp -peers
 //	exchswarm -scenario adversary -nodes 80 -adaptive 0.2 -whitewash 0.1 -partial 0.2 -quick
 //	exchswarm -scenario cheater -nodes 120 -mediators 4 -quick
+//	exchswarm -scenario cheater -nodes 80 -mediators 4 -stripe 3 -quick
 //	exchswarm -scenario medfail -nodes 80 -mediators 4 -medkills 6 -quick -v
 //	exchswarm -scenario reshard -nodes 80 -reshards 9 -quick -v
 //	exchswarm -scenario wave -nodes 60 -workload flash -quick -record run.trace
@@ -27,7 +28,11 @@
 //
 // -mediators shards the mediator tier (consistent hashing over object id)
 // for any scenario; medfail additionally kills and restarts shards mid-run
-// while nodes speak the mediated block path natively. reshard runs the
+// while nodes speak the mediated block path natively. -stripe N switches
+// any scenario onto the mediated path with each download striped across up
+// to N origins — interleaved sealed blocks, per-origin escrow and audits —
+// so a cheater scenario flags every corrupt origin organically while honest
+// stripes complete in parallel. reshard runs the
 // medfail mix over a durable tier (write-ahead logs under -meddata, or a
 // temporary dir) while live AddShard/RemoveShard reshapes churn the ring;
 // the run fails if any reshape — or the final full-tier restart — loses a
@@ -83,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		medkills = fs.Int("medkills", 0, "mediator shard kill/restart cycles (medfail scenario)")
 		reshards = fs.Int("reshards", 0, "elastic tier reshape cycles (reshard scenario)")
 		meddata  = fs.String("meddata", "", "mediator write-ahead-log directory (reshard scenario; empty = temp dir)")
+		stripe   = fs.Int("stripe", 0, "stripe mediated downloads across up to N origins (enables the mediated path; 0/1 = single sender)")
 		objSize  = fs.Int("objsize", 0, "object size in bytes (0 = scenario default)")
 		block    = fs.Int("block", 0, "block size in bytes (0 = scenario default)")
 		slots    = fs.Int("slots", 0, "upload slots per sharer (0 = scenario default)")
@@ -127,6 +133,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MedKills:      *medkills,
 		Reshards:      *reshards,
 		MedDataDir:    *meddata,
+		Stripe:        *stripe,
 		ObjectSize:    *objSize,
 		BlockSize:     *block,
 		UploadSlots:   *slots,

@@ -8,17 +8,28 @@
 // replica shard when a mediator dies mid-verify. Deposits are written
 // through to the replica as well, so a verify that fails over after the
 // primary crashes still finds the escrowed key.
+//
+// RPCs are pipelined: every request travels in a protocol.Envelope carrying
+// a client-unique ReqID, each pooled connection runs a demultiplexing read
+// loop that routes enveloped replies back to their in-flight caller, and so
+// deposits, verifies, and map refetches from many goroutines share one
+// connection concurrently instead of queueing on a per-connection lock. A
+// connection failure fails exactly the RPCs in flight on it — each one's
+// own retry loop re-issues it through failover, so one caller's crash
+// recovery never replays another caller's request.
 package medclient
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"barter/internal/catalog"
 	"barter/internal/core"
 	"barter/internal/mediator"
+	"barter/internal/perfstats"
 	"barter/internal/protocol"
 	"barter/internal/transport"
 )
@@ -65,8 +76,10 @@ type Config struct {
 }
 
 // Client is a shard-aware mediator client, safe for concurrent use.
-// Operations to distinct shards proceed in parallel; operations on one
-// shard's connection are serialized.
+// Operations to distinct shards proceed in parallel, and operations on one
+// shard's connection are pipelined: each request carries a unique envelope
+// ReqID and the connection's read loop hands every reply to the caller that
+// sent it.
 type Client struct {
 	cfg Config
 
@@ -77,14 +90,90 @@ type Client struct {
 	conns    map[string]*shardConn
 	closed   bool
 
-	stop chan struct{}
+	nextReq atomic.Uint64 // envelope ReqID source, unique across connections
+	wg      sync.WaitGroup
+	stop    chan struct{}
 }
 
-// shardConn is one pooled connection; its mutex serializes RPCs so replies
-// can never be claimed by the wrong caller.
+// shardConn is one pooled connection plus its demultiplexing state: the
+// in-flight table maps each outstanding envelope ReqID to the channel its
+// caller waits on. A read loop owns the receive side; once it exits, err
+// holds the terminal transport error and every later register fails fast
+// with it.
 type shardConn struct {
-	mu   sync.Mutex
 	conn transport.Conn
+
+	mu       sync.Mutex
+	inflight map[uint64]chan rpcResult
+	err      error
+}
+
+// rpcResult is one reply (or the connection's terminal error) delivered to
+// a waiting caller; each in-flight RPC receives exactly one.
+type rpcResult struct {
+	msg protocol.Message
+	err error
+}
+
+// register enters an in-flight RPC in the demux table, refusing if the
+// connection already died so the caller retries elsewhere immediately.
+func (sc *shardConn) register(id uint64, ch chan rpcResult) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.err != nil {
+		return sc.err
+	}
+	sc.inflight[id] = ch
+	return nil
+}
+
+// unregister abandons an in-flight RPC (send failure or client shutdown).
+func (sc *shardConn) unregister(id uint64) {
+	sc.mu.Lock()
+	delete(sc.inflight, id)
+	sc.mu.Unlock()
+}
+
+// readLoop demultiplexes replies until the connection dies, then fails every
+// RPC still in flight with the transport error. Each entry leaves the table
+// exactly once — either claimed by its reply here or drained by fail — so
+// no RPC is ever answered twice and none is left waiting forever.
+func (sc *shardConn) readLoop() {
+	for {
+		msg, err := sc.conn.Recv()
+		if err != nil {
+			sc.fail(err)
+			return
+		}
+		env, ok := msg.(*protocol.Envelope)
+		if !ok {
+			// This client only issues enveloped RPCs; stray unenveloped
+			// traffic has no caller to route to.
+			continue
+		}
+		sc.mu.Lock()
+		ch, ok := sc.inflight[env.ReqID]
+		delete(sc.inflight, env.ReqID)
+		sc.mu.Unlock()
+		if ok {
+			ch <- rpcResult{msg: env.Msg}
+		}
+	}
+}
+
+// fail marks the connection dead and delivers err to every in-flight RPC.
+func (sc *shardConn) fail(err error) {
+	sc.mu.Lock()
+	sc.err = err
+	pending := make([]chan rpcResult, 0, len(sc.inflight))
+	for id, ch := range sc.inflight {
+		delete(sc.inflight, id)
+		pending = append(pending, ch)
+	}
+	sc.mu.Unlock()
+	for _, ch := range pending {
+		ch <- rpcResult{err: err}
+	}
 }
 
 // New builds a client. No connection is made until the first operation.
@@ -126,6 +215,8 @@ func (c *Client) Close() {
 	for _, sc := range open {
 		_ = sc.conn.Close()
 	}
+	// Wait for every read loop so Close leaves no goroutine behind.
+	c.wg.Wait()
 }
 
 func (c *Client) logf(format string, args ...any) {
@@ -173,8 +264,15 @@ func (c *Client) getConn(addr string) (*shardConn, error) {
 		_ = conn.Close()
 		return sc, nil
 	}
-	sc := &shardConn{conn: conn}
+	sc := &shardConn{conn: conn, inflight: make(map[uint64]chan rpcResult)}
 	c.conns[addr] = sc
+	// The read loop starts only for the connection that won the race, and
+	// exits when the conn closes (dropConn, applyMap pruning, or Close).
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		sc.readLoop()
+	}()
 	return sc, nil
 }
 
@@ -291,19 +389,38 @@ func (c *Client) shardMap() ([]string, error) {
 }
 
 func (c *Client) fetchMap(sc *shardConn, epoch uint64) (*protocol.MedShardMap, error) {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if err := sc.conn.Send(&protocol.MedShardMapReq{Epoch: epoch}); err != nil {
+	reply, err := c.rpc(sc, &protocol.MedShardMapReq{Epoch: epoch})
+	if err != nil {
 		return nil, err
 	}
-	for {
-		msg, err := sc.conn.Recv()
-		if err != nil {
-			return nil, err
-		}
-		if m, ok := msg.(*protocol.MedShardMap); ok {
-			return m, nil
-		}
+	m, ok := reply.(*protocol.MedShardMap)
+	if !ok {
+		return nil, fmt.Errorf("medclient: unexpected map reply %T", reply)
+	}
+	return m, nil
+}
+
+// rpc issues one enveloped, pipelined request on sc and waits for its
+// single reply. Many callers share the connection concurrently; a transport
+// failure delivers the error to exactly the RPCs in flight on it.
+func (c *Client) rpc(sc *shardConn, req protocol.Message) (protocol.Message, error) {
+	id := c.nextReq.Add(1)
+	ch := make(chan rpcResult, 1)
+	if err := sc.register(id, ch); err != nil {
+		return nil, err
+	}
+	perfstats.MedRPCStart()
+	defer perfstats.MedRPCDone()
+	if err := sc.conn.Send(&protocol.Envelope{ReqID: id, Msg: req}); err != nil {
+		sc.unregister(id)
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		return res.msg, res.err
+	case <-c.stop:
+		sc.unregister(id)
+		return nil, ErrClosed
 	}
 }
 
@@ -438,28 +555,25 @@ func (c *Client) markMapStale() {
 	c.mu.Unlock()
 }
 
-// roundTrip performs one serialized RPC on sc. It returns done when handle
-// accepted a terminal reply (err is then the verdict), a redirect if the
-// shard refused ownership, or neither on a transport error.
+// roundTrip performs one pipelined RPC on sc. It returns done when handle
+// accepted the reply (err is then the verdict), a redirect if the shard
+// refused ownership, or neither on a transport error. ReqID matching makes
+// the reply unambiguous, so a reply handle cannot claim is a protocol
+// violation surfaced like a transport error — the op loop drops the
+// connection and retries.
 func (c *Client) roundTrip(sc *shardConn, req protocol.Message, handle func(protocol.Message) (bool, error)) (done bool, redirect *protocol.MedRedirect, err error) {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if err := sc.conn.Send(req); err != nil {
+	reply, err := c.rpc(sc, req)
+	if err != nil {
 		return false, nil, err
 	}
-	for {
-		msg, err := sc.conn.Recv()
-		if err != nil {
-			return false, nil, err
-		}
-		if r, ok := msg.(*protocol.MedRedirect); ok {
-			return false, r, nil
-		}
-		ok, verdict := handle(msg)
-		if ok {
-			return true, nil, verdict
-		}
+	if r, ok := reply.(*protocol.MedRedirect); ok {
+		return false, r, nil
 	}
+	ok, verdict := handle(reply)
+	if !ok {
+		return false, nil, fmt.Errorf("medclient: unexpected reply %T", reply)
+	}
+	return true, nil, verdict
 }
 
 // Deposit escrows a sender's key for one exchange with the owning shard,

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"barter/internal/core"
 	"barter/internal/mediator"
 	"barter/internal/protocol"
+	"barter/internal/testutil"
 	"barter/internal/transport"
 )
 
@@ -129,18 +131,28 @@ func (s *redirectStub) accept() {
 				if err != nil {
 					return
 				}
+				// Mirror the mediator's envelope contract: an enveloped
+				// request gets its reply wrapped under the same ReqID.
+				send := conn.Send
+				if env, ok := msg.(*protocol.Envelope); ok {
+					reqID := env.ReqID
+					msg = env.Msg
+					send = func(reply protocol.Message) error {
+						return conn.Send(&protocol.Envelope{ReqID: reqID, Msg: reply})
+					}
+				}
 				switch m := msg.(type) {
 				case *protocol.MedShardMapReq:
-					_ = conn.Send(&protocol.MedShardMap{
+					_ = send(&protocol.MedShardMap{
 						Version: protocol.ShardMapVersion,
 						Epoch:   1,
 						Shards:  []protocol.MedShardEntry{{Index: 0, Addr: s.ln.Addr()}},
 					})
 				case *protocol.MedDeposit:
-					_ = conn.Send(&protocol.MedRedirect{Object: m.Object, Shard: 0, Addr: s.target, Epoch: 2})
+					_ = send(&protocol.MedRedirect{Object: m.Object, Shard: 0, Addr: s.target, Epoch: 2})
 					s.once.Do(func() { close(s.served) })
 				case *protocol.MedVerify:
-					_ = conn.Send(&protocol.MedRedirect{Object: m.Object, Shard: 0, Addr: s.target, Epoch: 2})
+					_ = send(&protocol.MedRedirect{Object: m.Object, Shard: 0, Addr: s.target, Epoch: 2})
 					s.once.Do(func() { close(s.served) })
 				}
 			}
@@ -304,6 +316,195 @@ func TestConcurrentOps(t *testing.T) {
 
 // coreid shortens the PeerID conversions above.
 func coreid(i int) core.PeerID { return core.PeerID(i) }
+
+// pipelineStub is a fake single-shard tier that withholds deposit replies
+// until `depth` requests are in flight on one connection, then answers them
+// in reverse arrival order. It pins the two demux properties at once: the
+// client genuinely pipelines (depth requests outstanding before any reply)
+// and replies are matched by ReqID, not arrival order.
+type pipelineStub struct {
+	ln    transport.Listener
+	depth int
+	wg    sync.WaitGroup
+}
+
+func newPipelineStub(t *testing.T, tr transport.Transport, addr string, depth int) *pipelineStub {
+	t.Helper()
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &pipelineStub{ln: ln, depth: depth}
+	s.wg.Add(1)
+	go s.accept()
+	t.Cleanup(func() {
+		ln.Close()
+		s.wg.Wait()
+	})
+	return s
+}
+
+func (s *pipelineStub) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			var held []*protocol.Envelope // deposits awaiting the batch flush
+			for {
+				msg, err := conn.Recv()
+				if err != nil {
+					return
+				}
+				env, ok := msg.(*protocol.Envelope)
+				if !ok {
+					continue
+				}
+				switch env.Msg.(type) {
+				case *protocol.MedShardMapReq:
+					_ = conn.Send(&protocol.Envelope{ReqID: env.ReqID, Msg: &protocol.MedShardMap{
+						Version: protocol.ShardMapVersion,
+						Epoch:   1,
+						Shards:  []protocol.MedShardEntry{{Index: 0, Addr: s.ln.Addr()}},
+					}})
+				case *protocol.MedDeposit:
+					held = append(held, env)
+					if len(held) < s.depth {
+						continue
+					}
+					for i := len(held) - 1; i >= 0; i-- {
+						dep := held[i].Msg.(*protocol.MedDeposit)
+						_ = conn.Send(&protocol.Envelope{ReqID: held[i].ReqID, Msg: &protocol.MedKey{
+							ExchangeID: dep.ExchangeID,
+							Key:        dep.Key,
+						}})
+					}
+					held = held[:0]
+				}
+			}
+		}()
+	}
+}
+
+// TestPipelinedOutOfOrderReplies: eight concurrent deposits against a shard
+// that replies to nothing until all eight are queued on the wire, then
+// answers newest-first. Every call must still complete with its own ack.
+func TestPipelinedOutOfOrderReplies(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t, 0)
+	const depth = 8
+	tr := transport.NewMem()
+	newPipelineStub(t, tr, "mem://pipe-stub", depth)
+	c, err := New(Config{Transport: tr, Seeds: []string{"mem://pipe-stub"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, depth)
+	for i := 0; i < depth; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.Deposit(uint64(i+1), coreid(i+1), catalog.ObjectID(1), [16]byte{byte(i + 1)})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("pipelined deposit %d: %v", i, err)
+		}
+	}
+}
+
+// TestPipelinedFailover: sixteen verifies launched together against a
+// durable two-shard tier whose shards are both killed and restarted while
+// the calls are in flight. Every call must return exactly once, with its
+// own exchange's key — no reply crossing callers, none lost, none doubled.
+func TestPipelinedFailover(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t, 0)
+	const calls = 16
+	tr := transport.NewMem()
+	content := []byte("failover-content")
+	digest := sha256.Sum256(content)
+	oracle := func(o catalog.ObjectID) ([][32]byte, bool) { return [][32]byte{digest}, true }
+	cl, err := mediator.NewClusterOpts(tr, []string{"mem://pf-0", "mem://pf-1"}, oracle,
+		mediator.ClusterOpts{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c, err := New(Config{Transport: tr, Seeds: cl.Addrs(), Attempts: 100, Backoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type fixture struct {
+		obj    catalog.ObjectID
+		ex     uint64
+		sender core.PeerID
+		key    [16]byte
+		sealed []byte
+	}
+	fixtures := make([]fixture, calls)
+	for i := range fixtures {
+		f := fixture{obj: catalog.ObjectID(i + 1), ex: uint64(i + 1), sender: coreid(i + 10)}
+		f.key[0] = byte(i + 1)
+		if err := c.Deposit(f.ex, f.sender, f.obj, f.key); err != nil {
+			t.Fatalf("deposit %d: %v", i, err)
+		}
+		sealed, err := mediator.Seal(f.key, f.sender, f.sender+1, f.obj, 0, content)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.sealed = sealed
+		fixtures[i] = f
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	var succeeded int32
+	for i := range fixtures {
+		wg.Add(1)
+		go func(f fixture) {
+			defer wg.Done()
+			<-start
+			got, err := c.Verify(f.ex, f.sender+1, f.sender, f.obj, []protocol.Block{
+				{Object: f.obj, Index: 0, Payload: f.sealed},
+			})
+			if err != nil {
+				t.Errorf("verify %d: %v", f.ex, err)
+				return
+			}
+			if got != f.key {
+				t.Errorf("verify %d: reply crossed callers (got key %v)", f.ex, got[0])
+				return
+			}
+			atomic.AddInt32(&succeeded, 1)
+		}(fixtures[i])
+	}
+	close(start)
+	time.Sleep(2 * time.Millisecond) // let the wave hit the wire
+	for i := 0; i < cl.Shards(); i++ {
+		cl.KillShard(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < cl.Shards(); i++ {
+		if err := cl.RestartShard(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if n := atomic.LoadInt32(&succeeded); n != calls {
+		t.Fatalf("%d of %d pipelined verifies completed exactly once", n, calls)
+	}
+}
 
 // TestElasticReshapeRefreshesMapMidRun resizes the tier under a running
 // client: the epoch-invalidation path must pick up each new map (redirects

@@ -271,14 +271,14 @@ func (m *Mediator) shardMap() (uint64, []string) {
 }
 
 // redirect answers a misrouted request with the owning shard's coordinates.
-func (m *Mediator) redirect(conn transport.Conn, obj catalog.ObjectID) {
+func (m *Mediator) redirect(send func(protocol.Message) error, obj catalog.ObjectID) {
 	primary, _ := ShardFor(obj, m.tierCount())
 	epoch, addrs := m.shardMap()
 	addr := ""
 	if primary < len(addrs) {
 		addr = addrs[primary]
 	}
-	_ = conn.Send(&protocol.MedRedirect{Object: obj, Shard: uint32(primary), Addr: addr, Epoch: epoch})
+	_ = send(&protocol.MedRedirect{Object: obj, Shard: uint32(primary), Addr: addr, Epoch: epoch})
 }
 
 // Addr returns the mediator's dialable address.
@@ -375,57 +375,96 @@ func (m *Mediator) serve(conn transport.Conn) {
 	defer m.wg.Done()
 	defer m.untrack(conn)
 	defer conn.Close() //barter:allow unchecked-io teardown: the peer sees the drop; nothing durable rides on this close
+	// reqs tracks the per-request goroutines spawned for enveloped
+	// (pipelined) RPCs; serve waits for them before returning so Close's
+	// wg.Wait still covers every in-flight audit.
+	var reqs sync.WaitGroup
+	defer reqs.Wait()
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
 			return
 		}
-		switch req := msg.(type) {
-		case *protocol.Hello:
-			// Accepted for compatibility with node connections; no reply.
-		case *protocol.MedShardMapReq:
-			epoch, addrs := m.shardMap()
-			reply := &protocol.MedShardMap{Version: protocol.ShardMapVersion, Epoch: epoch}
-			for i, a := range addrs {
-				reply.Shards = append(reply.Shards, protocol.MedShardEntry{Index: uint32(i), Addr: a})
+		if env, ok := msg.(*protocol.Envelope); ok {
+			// Pipelined RPC: serve it concurrently and echo the request id
+			// on every reply so the client's read loop can demultiplex.
+			// Conn.Send is safe for concurrent use by contract.
+			reqID, inner := env.ReqID, env.Msg
+			send := func(reply protocol.Message) error {
+				return conn.Send(&protocol.Envelope{ReqID: reqID, Msg: reply})
 			}
-			_ = conn.Send(reply)
-		case *protocol.MedDeposit:
-			if !m.owns(req.Object) {
-				m.redirect(conn, req.Object)
-				continue
-			}
-			m.mu.Lock()
-			m.deposits[depositKey{exchange: req.ExchangeID, sender: req.Sender}] = escrow{key: req.Key, object: req.Object}
-			if m.wal != nil {
-				m.wal.appendDeposit(walDeposit{exchange: req.ExchangeID, sender: req.Sender, object: req.Object, key: req.Key})
-			}
-			m.mu.Unlock()
-			// Echo as the deposit acknowledgement so clients can treat
-			// escrow as synchronous.
-			_ = conn.Send(&protocol.MedKey{ExchangeID: req.ExchangeID, Key: req.Key})
-		case *protocol.MedHandoff:
-			m.handleHandoff(conn, req)
-		case *protocol.MedVerify:
-			if !m.owns(req.Object) {
-				m.redirect(conn, req.Object)
-				continue
-			}
-			if oversizedVerify(req) {
-				// A well-behaved client never exceeds the audit limits;
-				// reject without a verdict and drop the connection.
-				_ = conn.Send(&protocol.MedReject{
-					ExchangeID: req.ExchangeID,
-					Code:       protocol.MedRejectOversize,
-					Reason:     "audit request exceeds mediator limits",
-				})
-				return
-			}
-			m.handleVerify(conn, req)
-		default:
-			// Ignore unrelated traffic.
+			reqs.Add(1)
+			go func() {
+				defer reqs.Done()
+				if m.handleRPC(send, inner) {
+					// A limit-violating request forfeits the connection even
+					// under pipelining; closing unblocks the Recv loop, which
+					// then waits out the sibling requests.
+					_ = conn.Close()
+				}
+			}()
+			continue
+		}
+		// Legacy unenveloped traffic keeps the strict sequential,
+		// unenveloped-reply handling so old clients interoperate unchanged.
+		if m.handleRPC(conn.Send, msg) {
+			return
 		}
 	}
+}
+
+// handleRPC serves one mediator request, routing any replies through send
+// (which wraps them in the request's envelope when the request was
+// enveloped). It returns true when the connection should be dropped — a
+// client that violates the audit limits forfeits the connection, pipelined
+// or not.
+func (m *Mediator) handleRPC(send func(protocol.Message) error, msg protocol.Message) bool {
+	switch req := msg.(type) {
+	case *protocol.Hello:
+		// Accepted for compatibility with node connections; no reply.
+	case *protocol.MedShardMapReq:
+		epoch, addrs := m.shardMap()
+		reply := &protocol.MedShardMap{Version: protocol.ShardMapVersion, Epoch: epoch}
+		for i, a := range addrs {
+			reply.Shards = append(reply.Shards, protocol.MedShardEntry{Index: uint32(i), Addr: a})
+		}
+		_ = send(reply)
+	case *protocol.MedDeposit:
+		if !m.owns(req.Object) {
+			m.redirect(send, req.Object)
+			return false
+		}
+		m.mu.Lock()
+		m.deposits[depositKey{exchange: req.ExchangeID, sender: req.Sender}] = escrow{key: req.Key, object: req.Object}
+		if m.wal != nil {
+			m.wal.appendDeposit(walDeposit{exchange: req.ExchangeID, sender: req.Sender, object: req.Object, key: req.Key})
+		}
+		m.mu.Unlock()
+		// Echo as the deposit acknowledgement so clients can treat
+		// escrow as synchronous.
+		_ = send(&protocol.MedKey{ExchangeID: req.ExchangeID, Key: req.Key})
+	case *protocol.MedHandoff:
+		m.handleHandoff(send, req)
+	case *protocol.MedVerify:
+		if !m.owns(req.Object) {
+			m.redirect(send, req.Object)
+			return false
+		}
+		if oversizedVerify(req) {
+			// A well-behaved client never exceeds the audit limits;
+			// reject without a verdict and drop the connection.
+			_ = send(&protocol.MedReject{
+				ExchangeID: req.ExchangeID,
+				Code:       protocol.MedRejectOversize,
+				Reason:     "audit request exceeds mediator limits",
+			})
+			return true
+		}
+		m.handleVerify(send, req)
+	default:
+		// Ignore unrelated traffic.
+	}
+	return false
 }
 
 // handleVerify audits the sample blocks the requester received from Sender:
@@ -434,7 +473,7 @@ func (m *Mediator) serve(conn transport.Conn) {
 // and whose payload digest matches the oracle. Only then is the key
 // released — and it is sent to the connection that proved receipt, which by
 // the header check is the intended recipient.
-func (m *Mediator) handleVerify(conn transport.Conn, req *protocol.MedVerify) {
+func (m *Mediator) handleVerify(send func(protocol.Message) error, req *protocol.MedVerify) {
 	// reject is the audit verdict: the samples, decrypted under the key
 	// the claimed sender itself escrowed, contradict the claim — the
 	// paper's evidence standard for flagging (deposits and audits are
@@ -449,13 +488,13 @@ func (m *Mediator) handleVerify(conn transport.Conn, req *protocol.MedVerify) {
 		// Replicate the verdict to the object's other owner the way
 		// deposits write through, so losing this shard loses no history.
 		m.replicateFlag(req.Object, req.Sender)
-		_ = conn.Send(&protocol.MedReject{ExchangeID: req.ExchangeID, Code: protocol.MedRejectAudit, Reason: reason})
+		_ = send(&protocol.MedReject{ExchangeID: req.ExchangeID, Code: protocol.MedRejectAudit, Reason: reason})
 	}
 	// refuse is for faults attributable to the requester or to this
 	// shard's own configuration: no verdict is reached and nobody is
 	// flagged — a malformed audit must never brand an honest sender.
 	refuse := func(code uint8, reason string) {
-		_ = conn.Send(&protocol.MedReject{ExchangeID: req.ExchangeID, Code: code, Reason: reason})
+		_ = send(&protocol.MedReject{ExchangeID: req.ExchangeID, Code: code, Reason: reason})
 	}
 	m.mu.Lock()
 	dep, ok := m.deposits[depositKey{exchange: req.ExchangeID, sender: req.Sender}]
@@ -502,7 +541,7 @@ func (m *Mediator) handleVerify(conn transport.Conn, req *protocol.MedVerify) {
 			return
 		}
 	}
-	_ = conn.Send(&protocol.MedKey{ExchangeID: req.ExchangeID, Key: key})
+	_ = send(&protocol.MedKey{ExchangeID: req.ExchangeID, Key: key})
 }
 
 // handleHandoff merges state pushed by a sibling shard — arc migration
@@ -511,7 +550,7 @@ func (m *Mediator) handleVerify(conn transport.Conn, req *protocol.MedVerify) {
 // already hold a write-through copy); flag counts add. Merged state goes to
 // the WAL like native state, and never re-replicates — that would bounce
 // between the two owners forever.
-func (m *Mediator) handleHandoff(conn transport.Conn, req *protocol.MedHandoff) {
+func (m *Mediator) handleHandoff(send func(protocol.Message) error, req *protocol.MedHandoff) {
 	var nd, nf uint32
 	m.mu.Lock()
 	for _, d := range req.Deposits {
@@ -536,7 +575,7 @@ func (m *Mediator) handleHandoff(conn transport.Conn, req *protocol.MedHandoff) 
 		nf++
 	}
 	m.mu.Unlock()
-	_ = conn.Send(&protocol.MedHandoffAck{Deposits: nd, Flags: nf})
+	_ = send(&protocol.MedHandoffAck{Deposits: nd, Flags: nf})
 }
 
 // replicateFlag pushes one flag verdict to obj's other owner (the replica if

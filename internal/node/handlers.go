@@ -130,6 +130,8 @@ func (n *Node) handle(from core.PeerID, msg protocol.Message) {
 		n.onBlock(from, m)
 	case *protocol.BlockAck:
 		n.onBlockAck(from, m)
+	case *protocol.StripeGrant:
+		n.onStripeGrant(from, m)
 	case *protocol.RingProbe:
 		n.onRingProbe(from, m)
 	case *protocol.RingAccept:
@@ -204,23 +206,63 @@ func (n *Node) onManifest(from core.PeerID, m *protocol.Manifest) {
 		}
 	}
 	if n.mediated() {
-		if dl.verifying {
-			return // an audit is in flight; nothing may move underneath it
+		if _, ok := dl.providers[from]; !ok {
+			return // not a provider we asked, or one we already flagged
 		}
-		if !n.lockMediatedSender(dl, from, m.Object) {
-			return
+		if dl.blocks == nil {
+			// The first valid manifest fixes the geometry: block count,
+			// digests, and the stripe interleave. Later manifests must
+			// agree on the count; their digests are ignored (first writer
+			// wins — the audit plus the post-decrypt checks, or
+			// TrustedDigests, catch liars).
+			k := n.cfg.Stripe
+			if k > len(dl.providers) {
+				k = len(dl.providers)
+			}
+			if k > int(m.Blocks) {
+				k = int(m.Blocks)
+			}
+			if k < 1 {
+				k = 1
+			}
+			dl.blocks = make([][]byte, m.Blocks)
+			dl.digests = digs
+			dl.total = int(m.Blocks)
+			dl.stripes = make([]*stripeState, k)
+			for i := range dl.stripes {
+				dl.stripes[i] = &stripeState{}
+			}
+		} else if int(m.Blocks) != dl.total {
+			return // contradicts the fixed geometry
 		}
-		if dl.blocks != nil && m.Session != dl.session {
-			// The locked sender opened a new session: its old one is dead
-			// (a sender only restarts after the previous session ended) and
+		dl.senders[from] = true
+		idx, s := dl.stripeOf(from)
+		if s == nil {
+			idx, s = dl.freeStripe()
+			if s == nil {
+				// Every stripe is carried; withdraw the request so the
+				// surplus provider does not hold an upload slot for us.
+				if pc, ok := n.conns[from]; ok {
+					pc.send(&protocol.Cancel{Object: m.Object})
+				}
+				return
+			}
+		} else {
+			if s.verifying || s.verified {
+				return // nothing may move underneath an audit or a done stripe
+			}
+			if m.Session == s.session {
+				return // duplicate manifest for the live session
+			}
+			// The origin opened a new session: its old one is dead (a
+			// sender only restarts after the previous session ended) and
 			// blocks sealed under the dead session's key can never be
-			// verified. Start the transfer over on the new session.
-			dl.blocks = nil
-			dl.have = 0
-			dl.total = 0
-			dl.lastHave = 0
+			// verified. Start this stripe over on the new session.
+			n.clearStripe(dl, idx)
+			s.origin = 0
 		}
-		dl.session = m.Session
+		n.grantStripe(dl, idx, from, m.Session)
+		return
 	}
 	dl.senders[from] = true
 	if dl.blocks != nil {
@@ -233,7 +275,7 @@ func (n *Node) onManifest(from core.PeerID, m *protocol.Manifest) {
 
 func (n *Node) onBlock(from core.PeerID, b *protocol.Block) {
 	dl := n.downloads[b.Object]
-	if dl == nil || dl.completed || dl.blocks == nil || dl.verifying {
+	if dl == nil || dl.completed || dl.blocks == nil {
 		return
 	}
 	if int(b.Index) >= dl.total {
@@ -444,7 +486,7 @@ func (n *Node) startUpload(to core.PeerID, obj catalog.ObjectID, ringID uint64, 
 	if total == 0 {
 		return false
 	}
-	u := &upload{to: to, object: obj, ringID: ringID, total: total}
+	u := &upload{to: to, object: obj, ringID: ringID, total: total, stripes: 1}
 	if n.mediated() {
 		// Escrow a fresh session key first; blocks follow once the
 		// mediator acknowledges the deposit.
@@ -528,7 +570,7 @@ func (n *Node) onBlockAck(from core.PeerID, a *protocol.BlockAck) {
 		n.trySchedule()
 		return
 	}
-	u.next++
+	u.next += u.stripes // interleave stride; 1 unless a stripe was granted
 	if u.next >= u.total {
 		delete(n.uploads, key)
 		n.removeIRQ(func(e *irqEntry) bool { return e.peer == from && e.object == a.Object })
@@ -799,7 +841,13 @@ func (n *Node) onTick() {
 	// preempted us for an exchange, or vanished); after MaxRetries rounds
 	// with zero progress the download fails.
 	for _, dl := range n.downloads {
-		if dl.completed || dl.verifying {
+		if dl.completed {
+			continue
+		}
+		if n.mediated() && dl.stripes != nil {
+			n.tickStripes(dl)
+		}
+		if dl.auditing() {
 			// An in-flight audit is progress; its own bounded retries and
 			// failover decide the outcome, not the stall counter.
 			continue
@@ -822,10 +870,11 @@ func (n *Node) onTick() {
 				delete(n.downloads, dl.object)
 				continue
 			}
-			if n.mediated() && dl.lockedSender != 0 {
-				// The locked sender went quiet (died, or withdrew); its
-				// partial sealed blocks are unverifiable without it, so
-				// start over and let the manifest race pick a live sender.
+			if n.mediated() && dl.stripes != nil {
+				// Every stripe went quiet at once (or none was ever
+				// granted); partial sealed blocks are unverifiable without
+				// their origins, so start over and let the manifest race
+				// re-fix the geometry with whoever is still alive.
 				n.resetMediatedDownload(dl)
 			}
 			n.sendRequests(dl)

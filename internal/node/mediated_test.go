@@ -159,6 +159,116 @@ func TestMediatedRecoversFromCheater(t *testing.T) {
 	}
 }
 
+// TestStripedDownloadAcrossOrigins: three honest origins each carry one
+// stripe of the same object; the receiver escrows and audits each stripe
+// against its own origin and lands the exact bytes.
+func TestStripedDownloadAcrossOrigins(t *testing.T) {
+	const size = 12 * 1024 // 12 blocks at the 1 KiB test block size
+	mn := newMedNet(t, 2, size)
+	obj := catalog.ObjectID(4)
+	data := payload(obj, size)
+	providers := make(map[core.PeerID]string)
+	for id := core.PeerID(1); id <= 3; id++ {
+		srv := mn.spawnMediated(id, nil)
+		srv.AddObject(obj, data)
+		providers[id] = srv.Addr()
+	}
+	receiver := mn.spawnMediated(9, func(cfg *Config) { cfg.Stripe = 3 })
+
+	ch := receiver.Download(obj, providers)
+	if err := WaitFor(ch, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if got := receiver.Object(obj); !bytes.Equal(got, data) {
+		t.Fatalf("downloaded %d bytes, content mismatch", len(got))
+	}
+	st := receiver.Stats()
+	if st.StripesGranted < 3 {
+		t.Fatalf("granted %d stripes, want >= 3", st.StripesGranted)
+	}
+	if st.MedVerifies < 3 {
+		t.Fatalf("submitted %d audits, want one per stripe (>= 3)", st.MedVerifies)
+	}
+	if st.MedRejects != 0 {
+		t.Fatalf("honest striped transfer produced %d rejects", st.MedRejects)
+	}
+}
+
+// TestStripedCheaterReassigned: one corrupt origin among three; its
+// stripe's audit rejects, the tier flags it, only its stripe is taken
+// back, and an honest origin that finished its own lane re-manifests to
+// fill the freed one — the download still lands the exact bytes.
+func TestStripedCheaterReassigned(t *testing.T) {
+	const size = 12 * 1024
+	mn := newMedNet(t, 2, size)
+	obj := catalog.ObjectID(6)
+	data := payload(obj, size)
+	cheater := mn.spawnMediated(1, func(cfg *Config) { cfg.Corrupt = true })
+	cheater.AddObject(obj, data)
+	providers := map[core.PeerID]string{1: cheater.Addr()}
+	for id := core.PeerID(2); id <= 3; id++ {
+		srv := mn.spawnMediated(id, nil)
+		srv.AddObject(obj, data)
+		providers[id] = srv.Addr()
+	}
+	receiver := mn.spawnMediated(9, func(cfg *Config) {
+		cfg.Stripe = 3
+		cfg.StallTicks = 5
+	})
+
+	ch := receiver.Download(obj, providers)
+	if err := WaitFor(ch, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if got := receiver.Object(obj); !bytes.Equal(got, data) {
+		t.Fatal("content mismatch after recovering from the striped cheater")
+	}
+	if mn.cluster.Flagged(1) == 0 {
+		t.Fatal("mediator tier never flagged the corrupt origin")
+	}
+	st := receiver.Stats()
+	if st.MedRejects == 0 {
+		t.Fatal("receiver recorded no audit rejection")
+	}
+	if st.StripesReassigned == 0 {
+		t.Fatal("the cheater's stripe was never reassigned")
+	}
+}
+
+// TestStripedStallRecovery: an origin departs mid-stripe. The receiver's
+// per-stripe stall timer takes the dead lane back within the stall timeout
+// and the surviving origin re-escrows and completes it, without the
+// surviving stripe being disturbed.
+func TestStripedStallRecovery(t *testing.T) {
+	const size = 16 * 1024
+	mn := newMedNet(t, 2, size)
+	obj := catalog.ObjectID(8)
+	data := payload(obj, size)
+	casualty := mn.spawnMediated(1, func(cfg *Config) {
+		cfg.BlockDelay = 5 * time.Millisecond // stretch the stripe so the departure lands mid-transfer
+	})
+	casualty.AddObject(obj, data)
+	survivor := mn.spawnMediated(2, nil)
+	survivor.AddObject(obj, data)
+	receiver := mn.spawnMediated(9, func(cfg *Config) {
+		cfg.Stripe = 2
+		cfg.StallTicks = 5
+	})
+
+	ch := receiver.Download(obj, map[core.PeerID]string{1: casualty.Addr(), 2: survivor.Addr()})
+	time.Sleep(10 * time.Millisecond) // let the stripes get going
+	casualty.Close()
+	if err := WaitFor(ch, testTimeout); err != nil {
+		t.Fatalf("download did not recover from the mid-stripe departure: %v", err)
+	}
+	if got := receiver.Object(obj); !bytes.Equal(got, data) {
+		t.Fatal("content mismatch after stall recovery")
+	}
+	if st := receiver.Stats(); st.StripesReassigned == 0 {
+		t.Fatal("the departed origin's stripe was never reassigned")
+	}
+}
+
 // TestMediatedRidesThroughShardRestart restarts every mediator shard while
 // transfers are in flight: escrows are lost, audits come back keyless, and
 // the node-side client plus session retry must still converge on a clean

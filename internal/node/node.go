@@ -87,6 +87,12 @@ type Config struct {
 	// is flagged by the tier, not just locally blacklisted. The client is
 	// shared infrastructure owned by the caller; Close it after the node.
 	Mediator *medclient.Client
+	// Stripe caps how many origins a mediated download stripes across
+	// (receiver side). Each origin is granted an interleaved residue class
+	// of block indices and escrowed, audited, and decrypted independently,
+	// so a slow or cheating origin costs only its own stripe. Values <= 1
+	// keep the historical single-sender transfer. Ignored without Mediator.
+	Stripe int
 	// Corrupt makes this node a cheater that serves junk payloads. Used by
 	// tests and the middleman example to exercise the defenses.
 	Corrupt bool
@@ -125,6 +131,9 @@ func (c *Config) fillDefaults() error {
 	if c.SendQueue <= 0 {
 		c.SendQueue = 1024
 	}
+	if c.Stripe <= 0 {
+		c.Stripe = 1
+	}
 	if c.Lookup == nil {
 		c.Lookup = func(core.PeerID) (string, bool) { return "", false }
 	}
@@ -148,6 +157,11 @@ type Stats struct {
 	// MedRejects counts those that came back as cheating verdicts.
 	MedVerifies int
 	MedRejects  int
+	// StripesGranted counts stripe assignments this node handed to
+	// mediated-download origins; StripesReassigned counts stripes taken
+	// back from a stalled, departed, or cheating origin.
+	StripesGranted    int
+	StripesReassigned int
 }
 
 // Node is a live peer. Create with New, stop with Close.
@@ -214,14 +228,13 @@ type download struct {
 	retries   int
 	completed bool
 	senders   map[core.PeerID]bool
-	// Mediated transfers stick to one sender (the audit is per-sender):
-	// lockedSender is who won the manifest race, session is that sender's
-	// current upload session (blocks from other sessions were sealed under
-	// a different key and must never mix in), and verifying marks the
-	// end-of-transfer audit in flight.
-	lockedSender core.PeerID
-	session      uint64
-	verifying    bool
+	// Mediated transfers stripe across up to Config.Stripe origins. Stripe
+	// s of k covers the block indices congruent to s modulo k; each stripe
+	// sticks to one origin and that origin's current session (the audit is
+	// per-origin, and blocks from a dead session were sealed under a key
+	// the audit will never release). nil until the first manifest fixes
+	// the geometry; nil forever for non-mediated downloads.
+	stripes []*stripeState
 }
 
 type upload struct {
@@ -232,11 +245,17 @@ type upload struct {
 	total    uint32
 	inFlight bool
 	// Mediated uploads seal every block under sealKey and tag traffic with
-	// the session id; blocks wait until the escrow deposit is acknowledged
-	// (startEscrow releases the first block only on the deposit ack).
+	// the session id. The first block waits for two acknowledgements in
+	// either order: the escrow deposit (escrowed) and the receiver's
+	// StripeGrant (granted), which places the session in the receiver's
+	// interleave — next starts at stripe and advances by stripes.
 	mediated bool
 	sealKey  [16]byte
 	session  uint64
+	stripe   uint32
+	stripes  uint32
+	granted  bool
+	escrowed bool
 }
 
 type ringInfo struct {

@@ -36,6 +36,16 @@ type Snapshot struct {
 	Domains   uint64
 	Barriers  uint64
 	CrossMsgs uint64
+	// MedRPCs counts mediator RPCs issued through the pipelined client;
+	// MedRPCPeak is the peak number concurrently in flight (the achieved
+	// pipeline depth). StripesGranted and StripesReassigned count mediated
+	// download stripes assigned to origins and reassigned after a stall or
+	// failed audit. These four are live-stack counters published as they
+	// happen rather than folded in per run.
+	MedRPCs           uint64
+	MedRPCPeak        uint64
+	StripesGranted    uint64
+	StripesReassigned uint64
 }
 
 var global struct {
@@ -43,7 +53,35 @@ var global struct {
 	searches, nodes, wants   atomic.Uint64
 	rings                    atomic.Uint64
 	domains, barriers, xmsgs atomic.Uint64
+
+	medRPCs, medInflight, medPeak atomic.Uint64
+	stripesGranted, stripesReass  atomic.Uint64
 }
+
+// MedRPCStart records a mediator RPC entering flight, maintaining the peak
+// concurrent depth; pair every call with MedRPCDone.
+func MedRPCStart() {
+	global.medRPCs.Add(1)
+	depth := global.medInflight.Add(1)
+	for {
+		peak := global.medPeak.Load()
+		if depth <= peak || global.medPeak.CompareAndSwap(peak, depth) {
+			return
+		}
+	}
+}
+
+// MedRPCDone records a mediator RPC leaving flight.
+func MedRPCDone() {
+	global.medInflight.Add(^uint64(0))
+}
+
+// AddStripeGranted counts a mediated download stripe assigned to an origin.
+func AddStripeGranted() { global.stripesGranted.Add(1) }
+
+// AddStripeReassigned counts a stripe taken from a failed or departed origin
+// and offered for reassignment.
+func AddStripeReassigned() { global.stripesReass.Add(1) }
 
 // AddRun folds one run's counters into the global aggregate.
 func AddRun(s Snapshot) {
@@ -70,6 +108,10 @@ func Current() Snapshot {
 		Domains:            global.domains.Load(),
 		Barriers:           global.barriers.Load(),
 		CrossMsgs:          global.xmsgs.Load(),
+		MedRPCs:            global.medRPCs.Load(),
+		MedRPCPeak:         global.medPeak.Load(),
+		StripesGranted:     global.stripesGranted.Load(),
+		StripesReassigned:  global.stripesReass.Load(),
 	}
 }
 
@@ -85,6 +127,11 @@ func Reset() {
 	global.domains.Store(0)
 	global.barriers.Store(0)
 	global.xmsgs.Store(0)
+	global.medRPCs.Store(0)
+	global.medInflight.Store(0)
+	global.medPeak.Store(0)
+	global.stripesGranted.Store(0)
+	global.stripesReass.Store(0)
 }
 
 // Sub returns s - t field-wise; use it to scope a Snapshot to an interval.
@@ -99,6 +146,10 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		Domains:            s.Domains - t.Domains,
 		Barriers:           s.Barriers - t.Barriers,
 		CrossMsgs:          s.CrossMsgs - t.CrossMsgs,
+		MedRPCs:            s.MedRPCs - t.MedRPCs,
+		MedRPCPeak:         s.MedRPCPeak, // a peak is not a delta; report the interval's high-water mark
+		StripesGranted:     s.StripesGranted - t.StripesGranted,
+		StripesReassigned:  s.StripesReassigned - t.StripesReassigned,
 	}
 }
 
@@ -135,6 +186,12 @@ func (t *Timer) Report() string {
 	if s.Domains > 0 {
 		fmt.Fprintf(&b, "perf: shards     %d domain(s), %d barrier(s), %d cross-partition msg(s)\n",
 			s.Domains, s.Barriers, s.CrossMsgs)
+	}
+	if s.MedRPCs > 0 {
+		fmt.Fprintf(&b, "perf: mediator   %d RPC(s), pipeline depth peak %d\n", s.MedRPCs, s.MedRPCPeak)
+	}
+	if s.StripesGranted > 0 {
+		fmt.Fprintf(&b, "perf: stripes    %d granted, %d reassigned\n", s.StripesGranted, s.StripesReassigned)
 	}
 	fmt.Fprintf(&b, "perf: alloc      %d objects, %s", allocObjs, bytesHuman(allocBytes))
 	if s.Events > 0 {

@@ -53,6 +53,11 @@ func corpusMessages() []Message {
 			{Peer: 2, Count: 3},
 		}},
 		&MedHandoffAck{Deposits: 2, Flags: 1},
+		&Envelope{ReqID: 6, Msg: &MedVerify{ExchangeID: 3, Requester: 2, Sender: 1, Object: 5, Samples: []Block{
+			{Object: 5, Index: 0, Origin: 1, Recipient: 2, Encrypted: true, Payload: []byte("x")},
+		}}},
+		&Envelope{ReqID: 7, Msg: &MedKey{ExchangeID: 3, Key: [16]byte{9}}},
+		&StripeGrant{Object: 5, Session: 11, Stripe: 2, Stripes: 3},
 	}
 }
 
@@ -76,6 +81,15 @@ func FuzzDecode(f *testing.F) {
 	huge := []byte{0, 0, 0, 9, byte(TypeRequest), 0, 0, 0, 1}
 	huge = binary.BigEndian.AppendUint32(huge, 1<<20) // tree claims 2^20 nodes
 	f.Add(huge)
+	// Envelope edges: a header that dies inside the ReqID, and a nested
+	// envelope (the decoder must reject envelopes wrapping envelopes).
+	f.Add([]byte{0, 0, 0, 4, byte(TypeEnvelope), 0, 0, 9})
+	nested := binary.BigEndian.AppendUint64([]byte(nil), 5)
+	nested = append(nested, byte(TypeEnvelope))
+	nested = binary.BigEndian.AppendUint64(nested, 6)
+	nested = append(nested, byte(TypeCancel))
+	nested = binary.BigEndian.AppendUint32(nested, 1)
+	f.Add(frameFor(TypeEnvelope, nested))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Decode(bytes.NewReader(data))

@@ -45,6 +45,8 @@ const (
 	TypeMedRedirect
 	TypeMedHandoff
 	TypeMedHandoffAck
+	TypeEnvelope
+	TypeStripeGrant
 )
 
 // Message is one decodable wire message.
@@ -271,6 +273,30 @@ type MedHandoffAck struct {
 	Flags    uint32
 }
 
+// Envelope wraps an RPC-shaped message with a request identifier so many
+// requests can share one connection concurrently: the responder echoes the
+// ReqID on its reply and the requester's demultiplexing read loop routes it
+// back to the in-flight call. Envelopes never nest, and a legacy
+// (unenveloped) frame still decodes as before, so mixed-version tiers
+// interoperate — an old client simply never sends envelopes and an old
+// mediator never sees one. Msg must be non-nil when encoding.
+type Envelope struct {
+	ReqID uint64
+	Msg   Message
+}
+
+// StripeGrant assigns a mediated sender its stripe of a striped download:
+// the receiver grants the upload session leave to send block indices
+// congruent to Stripe modulo Stripes. Stripes is 1 for an unstriped
+// mediated transfer; the sender must not send sealed blocks before the
+// grant arrives.
+type StripeGrant struct {
+	Object  catalog.ObjectID
+	Session uint64
+	Stripe  uint32
+	Stripes uint32
+}
+
 // Tree is the wire form of a request tree (core.Tree flattened).
 type Tree struct {
 	Root  core.PeerID
@@ -345,6 +371,8 @@ var (
 	_ Message = (*MedRedirect)(nil)
 	_ Message = (*MedHandoff)(nil)
 	_ Message = (*MedHandoffAck)(nil)
+	_ Message = (*Envelope)(nil)
+	_ Message = (*StripeGrant)(nil)
 )
 
 // Type implementations.
@@ -368,6 +396,8 @@ func (*MedShardMap) Type() Type    { return TypeMedShardMap }
 func (*MedRedirect) Type() Type    { return TypeMedRedirect }
 func (*MedHandoff) Type() Type     { return TypeMedHandoff }
 func (*MedHandoffAck) Type() Type  { return TypeMedHandoffAck }
+func (*Envelope) Type() Type       { return TypeEnvelope }
+func (*StripeGrant) Type() Type    { return TypeStripeGrant }
 
 // New returns a zero message of the given wire type.
 func New(t Type) (Message, error) {
@@ -412,6 +442,10 @@ func New(t Type) (Message, error) {
 		return &MedHandoff{}, nil
 	case TypeMedHandoffAck:
 		return &MedHandoffAck{}, nil
+	case TypeEnvelope:
+		return &Envelope{}, nil
+	case TypeStripeGrant:
+		return &StripeGrant{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}
@@ -444,27 +478,42 @@ func AppendEncode(dst []byte, msg Message) ([]byte, error) {
 
 // Decode parses one frame from r (blocking until a full frame arrives).
 func Decode(r io.Reader) (Message, error) {
+	msg, _, err := DecodeBuf(r, nil)
+	return msg, err
+}
+
+// DecodeBuf parses one frame from r like Decode but reads the payload into
+// scratch (grown as needed) instead of allocating per frame, and returns the
+// possibly-grown scratch for reuse. Receivers on a hot path keep a retained
+// per-connection scratch — the AppendEncode mirror for the decode side.
+// Decoded messages never alias the scratch (variable-length fields copy out),
+// so the same buffer is safe to reuse for the next frame immediately.
+func DecodeBuf(r io.Reader, scratch []byte) (Message, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return nil, scratch, err
 	}
 	size := binary.BigEndian.Uint32(hdr[:4])
 	if size == 0 || size > MaxFrame {
-		return nil, ErrFrameTooLarge
+		return nil, scratch, ErrFrameTooLarge
 	}
 	msg, err := New(Type(hdr[4]))
 	if err != nil {
-		return nil, err
+		return nil, scratch, err
 	}
-	payload := make([]byte, size-1)
+	n := int(size - 1)
+	if cap(scratch) < n {
+		scratch = make([]byte, n)
+	}
+	payload := scratch[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
+		return nil, scratch, err
 	}
 	rd := &reader{buf: payload}
 	if err := msg.decode(rd); err != nil {
-		return nil, err
+		return nil, scratch, err
 	}
-	return msg, nil
+	return msg, scratch, nil
 }
 
 // --- primitive codec -------------------------------------------------------
@@ -920,6 +969,50 @@ func (m *MedHandoffAck) encode(w *writer) {
 func (m *MedHandoffAck) decode(r *reader) error {
 	m.Deposits = r.u32()
 	m.Flags = r.u32()
+	return r.err
+}
+
+func (m *Envelope) encode(w *writer) {
+	w.u64(m.ReqID)
+	w.u8(byte(m.Msg.Type()))
+	m.Msg.encode(w)
+}
+func (m *Envelope) decode(r *reader) error {
+	m.ReqID = r.u64()
+	typ := Type(r.u8())
+	if r.err != nil {
+		return r.err
+	}
+	// Nested envelopes are forbidden: a frame of repeated envelope tags
+	// would otherwise recurse to stack exhaustion (found by FuzzDecode
+	// design review, guarded before it could find it the hard way).
+	if typ == TypeEnvelope {
+		r.err = fmt.Errorf("%w: nested envelope", ErrUnknownType)
+		return r.err
+	}
+	inner, err := New(typ)
+	if err != nil {
+		r.err = err
+		return r.err
+	}
+	if err := inner.decode(r); err != nil {
+		return err
+	}
+	m.Msg = inner
+	return r.err
+}
+
+func (m *StripeGrant) encode(w *writer) {
+	w.i32(int32(m.Object))
+	w.u64(m.Session)
+	w.u32(m.Stripe)
+	w.u32(m.Stripes)
+}
+func (m *StripeGrant) decode(r *reader) error {
+	m.Object = catalog.ObjectID(r.i32())
+	m.Session = r.u64()
+	m.Stripe = r.u32()
+	m.Stripes = r.u32()
 	return r.err
 }
 

@@ -68,6 +68,11 @@ func TestRoundTripAllTypes(t *testing.T) {
 			{Peer: 4, Count: 1},
 		}},
 		&MedHandoffAck{Deposits: 2, Flags: 1},
+		&Envelope{ReqID: 77, Msg: &MedVerify{ExchangeID: 8, Requester: 2, Sender: 1, Object: 5, Samples: []Block{
+			{Object: 5, Index: 0, Payload: []byte("x")},
+		}}},
+		&Envelope{ReqID: 0, Msg: &MedShardMapReq{Epoch: 3}},
+		&StripeGrant{Object: 5, Session: 12, Stripe: 1, Stripes: 3},
 	}
 	for _, msg := range msgs {
 		got := roundTrip(t, msg)
@@ -272,15 +277,24 @@ func BenchmarkEncodeBlock(b *testing.B) {
 }
 
 func BenchmarkDecodeBlock(b *testing.B) {
+	// The live receive path (transport.tcpConn.Recv) decodes into a retained
+	// per-connection scratch; measure that path, not the allocate-per-frame
+	// convenience wrapper.
 	frame, err := Encode(&Block{Object: 1, Index: 2, Payload: make([]byte, 4096)})
 	if err != nil {
 		b.Fatal(err)
 	}
+	var scratch []byte
+	rd := bytes.NewReader(frame)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Decode(bytes.NewReader(frame)); err != nil {
+		rd.Reset(frame)
+		msg, buf, err := DecodeBuf(rd, scratch)
+		if err != nil {
 			b.Fatal(err)
 		}
+		_ = msg
+		scratch = buf
 	}
 }

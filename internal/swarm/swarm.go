@@ -194,6 +194,14 @@ type Config struct {
 	// in-memory shards — except on the reshard scenario, which needs
 	// durability and creates (and removes) a temporary directory.
 	MedDataDir string
+	// Stripe caps how many origins each mediated download stripes across
+	// (node.Config.Stripe). Values above 1 switch the whole scenario onto
+	// the mediated block path — sealed blocks, per-origin escrow and
+	// audits — since striping is a property of mediated transfers. On the
+	// cheater scenario this means every corrupt origin is flagged
+	// organically by the stripe audits of its own victims. <= 1 keeps
+	// single-sender transfers.
+	Stripe int
 	// Workload is the wave scenario's demand spec; nil means the "flash"
 	// builtin anchored at WantsPerNode requests per downloader. Rejected on
 	// other scenarios (their wants are structural, not temporal).
@@ -254,6 +262,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Mediators > 64 {
 		return fmt.Errorf("swarm: %d mediator shards is beyond any sane tier", c.Mediators)
+	}
+	if c.Stripe < 0 || c.Stripe > 16 {
+		return fmt.Errorf("swarm: Stripe %d out of range [0, 16]", c.Stripe)
 	}
 	if c.Scenario == Medfail {
 		if c.MedKills <= 0 {
@@ -632,7 +643,15 @@ func Run(cfg Config) (*Result, error) {
 	flagged := 0
 	switch cfg.Scenario {
 	case Cheater:
-		flagged = s.auditCheaters()
+		if s.mediated() {
+			// Striped cheater runs flag organically: every corrupt origin's
+			// stripe audits reject at the tier. Converge instead of running
+			// the orchestrator's synthetic audits, so the count proves the
+			// live detection path worked.
+			flagged = s.convergeCheaterFlags()
+		} else {
+			flagged = s.auditCheaters()
+		}
 	case Medfail:
 		flagged = s.convergeCheaterFlags()
 	case Reshard:
@@ -678,9 +697,11 @@ func (s *swarmRun) mediatorAddrs() []string {
 }
 
 // mediated reports whether nodes in this scenario speak the mediated block
-// path natively.
+// path natively: the mediator-tier torture scenarios always do, and any
+// scenario does once downloads stripe across origins (striping is a
+// property of mediated transfers — the tier is up in every run anyway).
 func (s *swarmRun) mediated() bool {
-	return s.cfg.Scenario == Medfail || s.cfg.Scenario == Reshard
+	return s.cfg.Scenario == Medfail || s.cfg.Scenario == Reshard || s.cfg.Stripe > 1
 }
 
 // shardKiller kills and restarts mediator shards round-robin until its
@@ -861,6 +882,7 @@ func (s *swarmRun) spawn(p *peerState) error {
 		}
 	}
 	if s.mediated() {
+		cfg.Stripe = s.cfg.Stripe
 		if p.medc == nil {
 			mc, err := medclient.New(medclient.Config{
 				Transport: s.tr,

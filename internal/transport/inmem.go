@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"barter/internal/protocol"
 )
@@ -14,6 +15,7 @@ type Mem struct {
 	mu        sync.Mutex
 	listeners map[string]*memListener
 	nextAuto  int
+	latency   time.Duration
 }
 
 var _ Transport = (*Mem)(nil)
@@ -21,6 +23,17 @@ var _ Transport = (*Mem)(nil)
 // NewMem returns an empty in-memory network.
 func NewMem() *Mem {
 	return &Mem{listeners: make(map[string]*memListener)}
+}
+
+// NewMemLatency returns an in-memory network that delays every message by
+// the given one-way latency. Delivery is timestamped at send, so messages
+// in flight overlap: two frames sent back-to-back arrive one latency after
+// their sends, not two. That makes round-trip-bound behavior (RPC
+// pipelining, stall timers) measurable without a real network.
+func NewMemLatency(oneWay time.Duration) *Mem {
+	m := NewMem()
+	m.latency = oneWay
+	return m
 }
 
 // Listen implements Transport.
@@ -52,7 +65,7 @@ func (m *Mem) Dial(addr string) (Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("transport: no listener at %q", addr)
 	}
-	client, server := pipe(addr, "mem://dialer")
+	client, server := pipe(addr, "mem://dialer", m.latency)
 	select {
 	case l.backlog <- server:
 		return client, nil
@@ -94,11 +107,19 @@ func (l *memListener) Close() error {
 
 func (l *memListener) Addr() string { return l.addr }
 
+// memMsg is one in-flight message; due is when the simulated network
+// delivers it (zero when the network adds no latency).
+type memMsg struct {
+	msg protocol.Message
+	due time.Time
+}
+
 // memConn is one endpoint of a paired in-memory connection.
 type memConn struct {
-	remote string
-	out    chan<- protocol.Message
-	in     <-chan protocol.Message
+	remote  string
+	out     chan<- memMsg
+	in      <-chan memMsg
+	latency time.Duration
 	// closed is shared between both endpoints: closing either side tears
 	// down the pair, like a TCP reset.
 	closed chan struct{}
@@ -106,13 +127,13 @@ type memConn struct {
 }
 
 // pipe builds a connected pair; a's sends arrive at b's Recv and vice versa.
-func pipe(aRemote, bRemote string) (a, b *memConn) {
-	ab := make(chan protocol.Message, 64)
-	ba := make(chan protocol.Message, 64)
+func pipe(aRemote, bRemote string, latency time.Duration) (a, b *memConn) {
+	ab := make(chan memMsg, 64)
+	ba := make(chan memMsg, 64)
 	closed := make(chan struct{})
 	once := &sync.Once{}
-	a = &memConn{remote: aRemote, out: ab, in: ba, closed: closed, once: once}
-	b = &memConn{remote: bRemote, out: ba, in: ab, closed: closed, once: once}
+	a = &memConn{remote: aRemote, out: ab, in: ba, latency: latency, closed: closed, once: once}
+	b = &memConn{remote: bRemote, out: ba, in: ab, latency: latency, closed: closed, once: once}
 	return a, b
 }
 
@@ -122,24 +143,40 @@ func (c *memConn) Send(msg protocol.Message) error {
 		return ErrClosed
 	default:
 	}
+	m := memMsg{msg: msg}
+	if c.latency > 0 {
+		m.due = time.Now().Add(c.latency)
+	}
 	select {
-	case c.out <- msg:
+	case c.out <- m:
 		return nil
 	case <-c.closed:
 		return ErrClosed
 	}
 }
 
+// deliver holds a received message until its delivery time. Messages queued
+// behind it carry their own send-stamped deadlines, so a burst pays the
+// latency once, not per frame.
+func (c *memConn) deliver(m memMsg) protocol.Message {
+	if !m.due.IsZero() {
+		if d := time.Until(m.due); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return m.msg
+}
+
 func (c *memConn) Recv() (protocol.Message, error) {
 	select {
-	case msg := <-c.in:
-		return msg, nil
+	case m := <-c.in:
+		return c.deliver(m), nil
 	case <-c.closed:
 		// Drain anything already queued before reporting closure, so an
 		// orderly shutdown does not drop in-flight messages.
 		select {
-		case msg := <-c.in:
-			return msg, nil
+		case m := <-c.in:
+			return c.deliver(m), nil
 		default:
 			return nil, ErrClosed
 		}

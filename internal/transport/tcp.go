@@ -73,6 +73,12 @@ type tcpConn struct {
 	sendMu  sync.Mutex
 	bw      *bufio.Writer
 	sendBuf []byte
+
+	// recvBuf is the decode-side scratch, the mirror of sendBuf: Recv is
+	// single-reader by the Conn contract, so no lock guards it. Decoded
+	// messages never alias it (protocol.DecodeBuf copies variable-length
+	// fields out), making it safe to reuse on the very next Recv.
+	recvBuf []byte
 }
 
 func newTCPConn(nc net.Conn, readTimeout, writeTimeout time.Duration) *tcpConn {
@@ -110,7 +116,9 @@ func (c *tcpConn) Recv() (protocol.Message, error) {
 			return nil, err
 		}
 	}
-	return protocol.Decode(c.br)
+	msg, scratch, err := protocol.DecodeBuf(c.br, c.recvBuf)
+	c.recvBuf = scratch
+	return msg, err
 }
 
 func (c *tcpConn) Close() error       { return c.nc.Close() }
